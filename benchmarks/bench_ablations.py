@@ -1,0 +1,89 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* ``abl-euler``    — §3.2: sorted-adjacency tour + list ranking (TV-SMP)
+                     vs DFS-ordered numbering + prefix sums (TV-opt);
+* ``abl-spanning`` — §3.2: SV spanning tree (textbook / engineered) vs
+                     the traversal spanning tree;
+* ``abl-auxcc``    — beyond-paper: full auxiliary-graph CC vs leaf-pruned;
+* ``abl-lowhigh``  — Low-high subtree aggregation: level sweep vs RMQ;
+* ``abl-listrank`` — Wyllie vs Helman–JáJá inside the TV-SMP tour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import tv_bcc, tv_filter_bcc
+from repro.graph import generators as gen
+from repro.primitives import (
+    euler_tour_numbering,
+    numbering_from_parents,
+    sv_spanning_tree,
+    traversal_spanning_tree,
+)
+from repro.smp import e4500
+from benchmarks.conftest import bench_n
+
+
+def _sim(fn, p=12):
+    machine = e4500(p)
+    fn(machine)
+    return machine.time_s
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return gen.random_tree(bench_n(), seed=3)
+
+
+class TestEulerAblation:
+    @pytest.mark.parametrize("strategy", ["tour-wyllie", "tour-helman-jaja", "dfs"])
+    def test_abl_euler(self, benchmark, tree, strategy):
+        n = tree.n
+        roots = np.array([0])
+        if strategy == "dfs":
+            trav = traversal_spanning_tree(tree, root=0)
+            fn = lambda m=None: numbering_from_parents(
+                trav.parent, trav.level, trav.parent_edge, m
+            )
+        else:
+            algo = strategy.removeprefix("tour-")
+            fn = lambda m=None: euler_tour_numbering(
+                n, tree.u, tree.v, m, roots=roots, list_ranking=algo
+            )
+        benchmark(fn)
+        benchmark.extra_info.update(n=n, sim_p12_s=_sim(fn))
+
+
+class TestSpanningAblation:
+    @pytest.mark.parametrize("strategy", ["sv-textbook", "sv-engineered", "traversal"])
+    def test_abl_spanning(self, benchmark, instances, strategy):
+        g = instances["dense-nlogn"]
+        if strategy == "traversal":
+            fn = lambda m=None: traversal_spanning_tree(g, 0, m)
+        else:
+            mode = strategy.removeprefix("sv-")
+            fn = lambda m=None: sv_spanning_tree(g, m, mode=mode)
+        benchmark(fn)
+        benchmark.extra_info.update(n=g.n, m=g.m, sim_p12_s=_sim(fn))
+
+
+class TestAuxCCAblation:
+    @pytest.mark.parametrize("aux_cc", ["full", "pruned"])
+    @pytest.mark.parametrize("algo", ["tv-opt", "tv-filter"])
+    def test_abl_auxcc(self, benchmark, instances, algo, aux_cc):
+        g = instances["dense-nlogn"]
+        if algo == "tv-opt":
+            fn = lambda m=None: tv_bcc(g, m, variant="opt", aux_cc=aux_cc)
+        else:
+            fn = lambda m=None: tv_filter_bcc(g, m, fallback_ratio=None, aux_cc=aux_cc)
+        benchmark.pedantic(fn, rounds=1, iterations=1)
+        benchmark.extra_info.update(n=g.n, m=g.m, sim_p12_s=_sim(fn))
+
+
+class TestLowHighAblation:
+    @pytest.mark.parametrize("method", ["sweep", "rmq"])
+    def test_abl_lowhigh(self, benchmark, instances, method):
+        g = instances["dense-nlogn"]
+        fn = lambda m=None: tv_bcc(g, m, variant="opt", lowhigh_method=method)
+        benchmark.pedantic(fn, rounds=1, iterations=1)
+        benchmark.extra_info.update(n=g.n, m=g.m, sim_p12_s=_sim(fn))

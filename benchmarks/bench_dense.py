@@ -1,0 +1,48 @@
+"""Woo–Sahni regime (§1): graphs retaining 70% / 90% of K_n's edges.
+
+Woo & Sahni's hypercube study was limited to < 2,000 vertices and dense
+inputs; the paper contrasts its own sparse focus against that.  This bench
+reproduces the dense setting at n = 1,500 and reports the simulated
+speedups the SMP algorithms reach there (dense graphs are where TV-filter
+shines most: almost everything gets filtered).
+"""
+
+import pytest
+
+from repro.core import tarjan_bcc, tv_bcc, tv_filter_bcc
+from repro.graph import generators as gen
+from repro.smp import e4500, sequential_machine
+
+ALGOS = {
+    "tv-smp": lambda g, m: tv_bcc(g, m, variant="smp"),
+    "tv-opt": lambda g, m: tv_bcc(g, m, variant="opt"),
+    "tv-filter": lambda g, m: tv_filter_bcc(g, m, fallback_ratio=None),
+}
+
+
+@pytest.fixture(scope="module", params=[0.7, 0.9], ids=["70pct", "90pct"])
+def dense_instance(request):
+    g = gen.dense_gnm(1500, request.param, seed=9)
+    machine = sequential_machine()
+    seq = tarjan_bcc(g, machine)
+    return g, seq, machine.time_s, request.param
+
+
+@pytest.mark.parametrize("algo", sorted(ALGOS))
+def test_dense(benchmark, dense_instance, algo):
+    g, seq, seq_sim, frac = dense_instance
+
+    def run():
+        machine = e4500(12)
+        res = ALGOS[algo](g, machine)
+        return res, machine.time_s
+
+    res, sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.same_partition(seq)
+    benchmark.extra_info.update(
+        n=g.n, m=g.m, fraction=frac,
+        sim_p12_s=sim, speedup=seq_sim / sim,
+    )
+    if algo == "tv-filter":
+        # dense graphs filter nearly everything: filter must beat sequential
+        assert sim < seq_sim

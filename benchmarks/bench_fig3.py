@@ -1,0 +1,52 @@
+"""Fig. 3 — execution time of Sequential / TV-SMP / TV-opt / TV-filter.
+
+Each benchmark runs the real vectorized algorithm (wall time measured by
+pytest-benchmark) and attaches the simulated Sun E4500 time and speedup at
+the benchmark's processor count to ``extra_info`` — those are the series
+the paper plots.  The full p-grid lives in ``python -m repro.bench fig3``;
+here we benchmark the endpoints p = 1 and p = 12.
+"""
+
+import pytest
+
+from repro.core import tarjan_bcc, tv_bcc, tv_filter_bcc
+from repro.smp import e4500
+
+ALGOS = {
+    "tv-smp": lambda g, m: tv_bcc(g, m, variant="smp"),
+    "tv-opt": lambda g, m: tv_bcc(g, m, variant="opt"),
+    "tv-filter": lambda g, m: tv_filter_bcc(g, m, fallback_ratio=None),
+}
+
+
+@pytest.mark.parametrize("density", ["sparse-4n", "dense-nlogn"])
+def test_fig3_sequential(benchmark, instances, sequential_baseline, density):
+    g = instances[density]
+    result = benchmark.pedantic(lambda: tarjan_bcc(g), rounds=1, iterations=1)
+    _, seq_sim = sequential_baseline[density]
+    benchmark.extra_info.update(
+        n=g.n, m=g.m, density=density, p=1,
+        sim_time_s=seq_sim, speedup=1.0, components=result.num_components,
+    )
+
+
+@pytest.mark.parametrize("p", [1, 12])
+@pytest.mark.parametrize("algo", sorted(ALGOS))
+@pytest.mark.parametrize("density", ["sparse-4n", "dense-nlogn"])
+def test_fig3_parallel(benchmark, instances, sequential_baseline, density, algo, p):
+    g = instances[density]
+    fn = ALGOS[algo]
+    seq_res, seq_sim = sequential_baseline[density]
+
+    def run():
+        machine = e4500(p)
+        res = fn(g, machine)
+        return res, machine.time_s
+
+    res, sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.same_partition(seq_res), f"{algo} result mismatch"
+    benchmark.extra_info.update(
+        n=g.n, m=g.m, density=density, p=p,
+        sim_time_s=sim, speedup=seq_sim / sim,
+        components=res.num_components,
+    )

@@ -1,0 +1,67 @@
+"""§4 filtering claims and the m = 4n fallback ablation.
+
+* the number of filtered edges meets the paper's lower bound
+  max(m - 2(n-1), 0) and grows with density;
+* the two-BFS counting recipe (Theorem 2 corollary) is exercised;
+* the fallback sweep shows where TV-filter starts beating TV-opt.
+"""
+
+import pytest
+
+from repro.core import count_biconnected_components_bfs, tv_bcc, tv_filter_bcc
+from repro.graph import generators as gen
+from repro.smp import e4500
+from benchmarks.conftest import bench_n
+
+
+@pytest.mark.parametrize("density", ["sparse-4n", "dense-nlogn"])
+def test_filter_claims(benchmark, instances, density):
+    g = instances[density]
+
+    def run():
+        stats = []
+        res = tv_filter_bcc(g, fallback_ratio=None, stats_out=stats)
+        return res, stats[0]
+
+    res, st = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = max(g.m - 2 * (g.n - 1), 0)
+    assert st.filtered_edges >= bound
+    benchmark.extra_info.update(
+        n=g.n, m=g.m,
+        filtered_edges=st.filtered_edges,
+        paper_lower_bound=bound,
+        tree_edges=st.tree_edges,
+        forest_edges=st.forest_edges,
+        bfs_levels=st.bfs_levels,
+        components=res.num_components,
+    )
+
+
+def test_filter_count_recipe(benchmark, instances):
+    g = instances["dense-nlogn"]
+    count = benchmark.pedantic(
+        lambda: count_biconnected_components_bfs(g), rounds=1, iterations=1
+    )
+    truth = tv_filter_bcc(g, fallback_ratio=None).num_components
+    benchmark.extra_info.update(n=g.n, m=g.m, recipe=count, truth=truth)
+    # on dense connected random instances the corollary is exact
+    assert count == truth
+
+
+@pytest.mark.parametrize("density_mult", [2, 3, 4, 6, 8])
+def test_fallback_crossover(benchmark, density_mult):
+    n = max(bench_n() // 4, 2_000)
+    g = gen.random_connected_gnm(n, density_mult * n, seed=7)
+
+    def run():
+        m_opt, m_f = e4500(12), e4500(12)
+        tv_bcc(g, m_opt, variant="opt")
+        tv_filter_bcc(g, m_f, fallback_ratio=None)
+        return m_opt.time_s, m_f.time_s
+
+    opt_s, filt_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        n=n, m=g.m, density=density_mult,
+        tv_opt_sim_s=opt_s, tv_filter_sim_s=filt_s,
+        filter_wins=bool(filt_s < opt_s),
+    )

@@ -1,0 +1,61 @@
+"""§4 — pathological diameter: chains (d = O(n)) vs random (d = O(log n)).
+
+"One pathological case is that G is a chain (d = O(n)), and computing the
+BFS tree takes O(n) time.  However, pathological cases are rare.  Palmer
+proved that almost all random graphs have diameter two."
+"""
+
+import pytest
+
+from repro.core import tarjan_bcc, tv_filter_bcc
+from repro.graph import generators as gen
+from repro.primitives import bfs
+from repro.smp import e4500, sequential_machine
+from benchmarks.conftest import bench_n
+
+
+def chain_n():
+    # the chain costs O(d) = O(n) *rounds*, so cap the size
+    return min(bench_n(), 5_000)
+
+
+@pytest.mark.parametrize("shape", ["chain", "random"])
+def test_pathological_bfs(benchmark, shape):
+    n = chain_n()
+    if shape == "chain":
+        g = gen.path_graph(n)
+    else:
+        g = gen.random_connected_gnm(n, 4 * n, seed=1)
+    csr = g.csr()
+    res = benchmark(lambda: bfs(g, 0, csr=csr))
+    machine = e4500(12)
+    bfs(g, 0, machine=machine, csr=csr)
+    benchmark.extra_info.update(
+        n=n, m=g.m, bfs_levels=res.num_levels, sim_p12_s=machine.time_s
+    )
+
+
+@pytest.mark.parametrize("shape", ["chain", "random"])
+def test_pathological_filter_vs_sequential(benchmark, shape):
+    n = chain_n()
+    if shape == "chain":
+        g = gen.path_graph(n)
+    else:
+        g = gen.random_connected_gnm(n, 4 * n, seed=1)
+
+    def run():
+        m_f = e4500(12)
+        res = tv_filter_bcc(g, m_f, fallback_ratio=None)
+        m_s = sequential_machine()
+        seq = tarjan_bcc(g, m_s)
+        assert res.same_partition(seq)
+        return m_f.time_s, m_s.time_s
+
+    filt_s, seq_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        n=n, m=g.m, sim_filter_s=filt_s, sim_seq_s=seq_s,
+        speedup=seq_s / filt_s,
+    )
+    if shape == "chain":
+        # on the pathological chain the parallel algorithm loses badly
+        assert filt_s > seq_s

@@ -1,0 +1,118 @@
+"""Microbenchmarks of the parallel primitives.
+
+The paper's premise (§1): "Previous experimental studies of these
+primitives demonstrate reasonable parallel speedups."  These benchmarks
+time the real vectorized executions and attach the simulated times at
+p = 1 and p = 12 so the per-primitive simulated speedup is visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.primitives import (
+    bfs,
+    connected_components,
+    euler_tour_numbering,
+    numbering_from_parents,
+    prefix_sum,
+    sample_argsort,
+    sv_spanning_tree,
+    traversal_spanning_tree,
+    wyllie_rank,
+)
+from repro.smp import e4500
+
+
+def _sim_times(fn):
+    out = {}
+    for p in (1, 12):
+        machine = e4500(p)
+        fn(machine)
+        out[f"sim_p{p}_s"] = machine.time_s
+    out["sim_speedup_p12"] = out["sim_p1_s"] / out["sim_p12_s"]
+    return out
+
+
+def test_prim_prefix_sum(benchmark, instances):
+    n = instances["sparse-4n"].n
+    x = np.random.default_rng(0).integers(0, 100, size=n)
+    benchmark(lambda: prefix_sum(x))
+    benchmark.extra_info.update(n=n, **_sim_times(lambda m: prefix_sum(x, machine=m)))
+
+
+def test_prim_sample_sort(benchmark, instances):
+    n = instances["sparse-4n"].n
+    keys = np.random.default_rng(1).integers(0, 10 * n, size=n)
+    benchmark(lambda: sample_argsort(keys))
+    benchmark.extra_info.update(
+        n=n, **_sim_times(lambda m: sample_argsort(keys, machine=m))
+    )
+
+
+def test_prim_list_ranking_wyllie(benchmark, instances):
+    n = instances["sparse-4n"].n
+    rng = np.random.default_rng(2)
+    order = rng.permutation(n)
+    succ = np.empty(n, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    succ[order[-1]] = order[-1]
+    head = int(order[0])
+    benchmark(lambda: wyllie_rank(succ, head))
+    benchmark.extra_info.update(
+        n=n, **_sim_times(lambda m: wyllie_rank(succ, head, machine=m))
+    )
+
+
+def test_prim_connectivity(benchmark, instances):
+    g = instances["sparse-4n"]
+    benchmark(lambda: connected_components(g))
+    benchmark.extra_info.update(
+        n=g.n, m=g.m, **_sim_times(lambda m: connected_components(g, machine=m))
+    )
+
+
+def test_prim_sv_spanning_tree(benchmark, instances):
+    g = instances["sparse-4n"]
+    benchmark(lambda: sv_spanning_tree(g))
+    benchmark.extra_info.update(
+        n=g.n, m=g.m, **_sim_times(lambda m: sv_spanning_tree(g, m))
+    )
+
+
+def test_prim_bfs(benchmark, instances):
+    g = instances["sparse-4n"]
+    csr = g.csr()  # prebuild so the benchmark isolates the traversal
+    benchmark(lambda: bfs(g, 0, csr=csr))
+    benchmark.extra_info.update(
+        n=g.n, m=g.m, **_sim_times(lambda m: bfs(g, 0, machine=m, csr=csr))
+    )
+
+
+def test_prim_euler_tour_numbering(benchmark, instances):
+    from repro.graph import generators as gen
+
+    n = instances["sparse-4n"].n
+    tree = gen.random_tree(n, seed=3)
+    roots = np.array([0])
+    benchmark(lambda: euler_tour_numbering(n, tree.u, tree.v, roots=roots))
+    benchmark.extra_info.update(
+        n=n,
+        **_sim_times(lambda m: euler_tour_numbering(n, tree.u, tree.v, m, roots=roots)),
+    )
+
+
+def test_prim_dfs_numbering(benchmark, instances):
+    from repro.graph import generators as gen
+
+    n = instances["sparse-4n"].n
+    tree = gen.random_tree(n, seed=3)
+    trav = traversal_spanning_tree(tree, root=0)
+    benchmark(
+        lambda: numbering_from_parents(trav.parent, trav.level, trav.parent_edge)
+    )
+    benchmark.extra_info.update(
+        n=n,
+        **_sim_times(
+            lambda m: numbering_from_parents(trav.parent, trav.level, trav.parent_edge, m)
+        ),
+    )

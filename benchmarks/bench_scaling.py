@@ -1,0 +1,66 @@
+"""Scaling study: simulated time vs n at fixed density, and vs p.
+
+Not a paper figure per se, but the sanity check behind the scale
+substitution (DESIGN.md §2): the cost model must scale near-linearly in n
+at fixed m/n (sub-log-linear factors come from the log-round primitives),
+so shapes measured at n = 100k transfer to the paper's n = 1M.
+"""
+
+import pytest
+
+from repro.core import tarjan_bcc, tv_filter_bcc, tv_opt_bcc
+from repro.graph import generators as gen
+from repro.smp import e4500, sequential_machine
+
+SIZES = [5_000, 10_000, 20_000, 40_000]
+DENSITY = 8
+
+
+@pytest.fixture(scope="module")
+def scaling_instances():
+    return {n: gen.random_connected_gnm(n, DENSITY * n, seed=13) for n in SIZES}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_n_tv_filter(benchmark, scaling_instances, n):
+    g = scaling_instances[n]
+
+    def run():
+        machine = e4500(12)
+        tv_filter_bcc(g, machine, fallback_ratio=None)
+        return machine.time_s
+
+    sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(n=n, m=g.m, sim_p12_s=sim, sim_per_edge_ns=1e9 * sim / g.m)
+
+
+def test_scaling_is_near_linear(benchmark, scaling_instances):
+    """time(8x vertices) <= ~10x time(1x): log factors only, no blowup."""
+
+    def run():
+        per_edge = {}
+        for n, g in scaling_instances.items():
+            machine = e4500(12)
+            tv_opt_bcc(g, machine)
+            per_edge[n] = machine.time_s / g.m
+        return per_edge
+
+    per_edge = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = per_edge[SIZES[-1]] / per_edge[SIZES[0]]
+    benchmark.extra_info.update(per_edge_growth=ratio)
+    assert ratio < 2.0, f"per-edge cost grew {ratio:.2f}x over an 8x size range"
+
+
+def test_sequential_scaling_linear(benchmark, scaling_instances):
+    def run():
+        per_edge = {}
+        for n, g in scaling_instances.items():
+            machine = sequential_machine()
+            tarjan_bcc(g, machine)
+            per_edge[n] = machine.time_s / g.m
+        return per_edge
+
+    per_edge = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = per_edge[SIZES[-1]] / per_edge[SIZES[0]]
+    benchmark.extra_info.update(per_edge_growth=ratio)
+    assert ratio < 1.5

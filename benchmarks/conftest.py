@@ -1,0 +1,49 @@
+"""Shared instances for the benchmark suite.
+
+Scale: benchmarks default to n = 20,000 so the whole suite runs in a couple
+of minutes; set ``REPRO_BENCH_N`` (or ``REPRO_BENCH_SCALE=paper`` for the
+paper's n = 1,000,000) to rescale.  Simulated E4500 times and speedups are
+attached to each benchmark's ``extra_info``; the wall-clock statistics that
+pytest-benchmark itself reports measure the real vectorized execution.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import tarjan_bcc
+from repro.graph import generators as gen
+from repro.smp import sequential_machine
+
+
+def bench_n() -> int:
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+        return 1_000_000
+    return int(os.environ.get("REPRO_BENCH_N", "20000"))
+
+
+#: (label, m/n multiplier) — sparse end and the m ≈ n log n dense end
+DENSITIES = [("sparse-4n", 4), ("dense-nlogn", 14)]
+
+
+@pytest.fixture(scope="session")
+def instances():
+    """density label -> Graph, generated once per session."""
+    n = bench_n()
+    return {
+        label: gen.random_connected_gnm(n, mult * n, seed=42)
+        for label, mult in DENSITIES
+    }
+
+
+@pytest.fixture(scope="session")
+def sequential_baseline(instances):
+    """density label -> (BCCResult, simulated seconds) for Tarjan."""
+    out = {}
+    for label, g in instances.items():
+        m = sequential_machine()
+        res = tarjan_bcc(g, m)
+        out[label] = (res, m.time_s)
+    return out

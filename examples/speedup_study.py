@@ -1,0 +1,43 @@
+"""A miniature of the paper's Fig. 3: speedup curves on the simulated E4500.
+
+Sweeps processor counts 1..12 for TV-SMP, TV-opt and TV-filter on random
+graphs of two densities and prints the speedup-over-sequential-Tarjan
+table.  Expect the paper's shape: TV-SMP never beats sequential, TV-opt
+roughly halves TV-SMP, TV-filter wins at density (speedup climbing toward
+the paper's "up to 4" as m approaches n log n at full scale).
+
+Run:  python examples/speedup_study.py           (n = 50,000, ~1 minute)
+      python examples/speedup_study.py 200000    (bigger n)
+"""
+
+import sys
+
+from repro.bench.runner import run_fig3
+from repro.bench.report import format_fig3
+from repro.smp import PAPER_PROCESSOR_GRID
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    cells = run_fig3(n=n, densities=(4, 12), procs=PAPER_PROCESSOR_GRID, seed=42)
+    print(format_fig3(cells))
+
+    # paper-claim spot checks at p = 12
+    print("\npaper-shape spot checks at p = 12:")
+    for density in (4, 12):
+        at = {
+            c.algorithm: c
+            for c in cells
+            if c.density == density and (c.p == 12 or c.algorithm == "sequential")
+        }
+        smp, opt, filt = at["tv-smp"], at["tv-opt"], at["tv-filter"]
+        print(
+            f"  m/n={density:2d}: TV-SMP speedup {smp.speedup:4.2f} "
+            f"({'<= 1 as the paper reports' if smp.speedup <= 1.05 else 'UNEXPECTED'}), "
+            f"TV-opt/TV-SMP time ratio {opt.sim_time_s / smp.sim_time_s:4.2f}, "
+            f"TV-filter speedup {filt.speedup:4.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on offline environments
+that lack the `wheel` package (PEP 517 editable wheels need it)."""
+from setuptools import setup
+
+setup()

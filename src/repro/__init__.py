@@ -1,0 +1,71 @@
+"""repro: parallel biconnected components on SMPs (Cong & Bader, IPPS 2005).
+
+A production-quality reproduction of the paper's system: the Tarjan–Vishkin
+parallel biconnected-components algorithm and its SMP engineering (TV-SMP,
+TV-opt) plus the paper's new edge-filtering algorithm (TV-filter), built on
+fully implemented parallel primitives (prefix sums, list ranking, sample
+sort, Shiloach–Vishkin connectivity, spanning trees, Euler tours, tree
+computations) and a simulated SMP cost model standing in for the paper's
+Sun E4500 (see DESIGN.md).
+
+Quick start::
+
+    import repro
+
+    g = repro.generators.random_connected_gnm(10_000, 50_000, seed=1)
+    res = repro.biconnected_components(g, algorithm="tv-filter",
+                                       machine=repro.e4500(p=12))
+    print(res.num_components, res.articulation_points()[:10])
+    print(res.report.region_times_s())
+"""
+
+from .api import (
+    ALGORITHMS,
+    articulation_points,
+    biconnected_components,
+    bridges,
+    count_biconnected_components_bfs,
+    is_biconnected,
+)
+from .core.blockcut import BlockCutTree, augment_to_biconnected, block_cut_tree
+from .core.result import BCCResult
+from .graph import CSRGraph, Graph, generators
+from .smp import (
+    PAPER_PROCESSOR_GRID,
+    SUN_E4500,
+    CostTable,
+    Machine,
+    NullMachine,
+    Ops,
+    e4500,
+    flat_machine,
+    sequential_machine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "Graph",
+    "CSRGraph",
+    "generators",
+    "biconnected_components",
+    "articulation_points",
+    "bridges",
+    "is_biconnected",
+    "count_biconnected_components_bfs",
+    "BCCResult",
+    "BlockCutTree",
+    "block_cut_tree",
+    "augment_to_biconnected",
+    "Machine",
+    "NullMachine",
+    "Ops",
+    "CostTable",
+    "SUN_E4500",
+    "e4500",
+    "flat_machine",
+    "sequential_machine",
+    "PAPER_PROCESSOR_GRID",
+    "__version__",
+]

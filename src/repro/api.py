@@ -1,0 +1,104 @@
+"""Public API: one entry point over all four algorithms.
+
+>>> import repro
+>>> g = repro.generators.random_connected_gnm(1000, 5000, seed=7)
+>>> res = repro.biconnected_components(g, algorithm="tv-filter")
+>>> res.num_components >= 1
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.filter import count_biconnected_components_bfs, tv_filter_bcc
+from .core.result import BCCResult
+from .core.tarjan import tarjan_bcc
+from .core.tv import tv_bcc
+from .graph import Graph
+from .smp import Machine
+
+__all__ = [
+    "ALGORITHMS",
+    "biconnected_components",
+    "articulation_points",
+    "bridges",
+    "is_biconnected",
+    "count_biconnected_components_bfs",
+]
+
+#: Algorithm registry: name -> callable(graph, machine, **kw) -> BCCResult.
+ALGORITHMS = {
+    "sequential": lambda g, m, **kw: tarjan_bcc(g, m),
+    "tv-smp": lambda g, m, **kw: tv_bcc(g, m, variant="smp", **kw),
+    "tv-opt": lambda g, m, **kw: tv_bcc(g, m, variant="opt", **kw),
+    "tv-filter": lambda g, m, **kw: tv_filter_bcc(g, m, **kw),
+}
+
+
+def biconnected_components(
+    g: Graph,
+    algorithm: str = "tv-filter",
+    machine: Machine | None = None,
+    **kwargs,
+) -> BCCResult:
+    """Biconnected components of ``g``.
+
+    Parameters
+    ----------
+    g:
+        The input graph.  Need not be connected (all algorithms handle
+        forests of components); self-loops/multi-edges were already
+        normalized away by :class:`~repro.graph.edgelist.Graph`.
+    algorithm:
+        ``"sequential"`` (Tarjan), ``"tv-smp"``, ``"tv-opt"`` or
+        ``"tv-filter"`` (the default — the paper's best performer).
+    machine:
+        Optional simulated SMP; pass e.g. ``repro.e4500(p=12)`` to obtain a
+        :class:`~repro.smp.machine.MachineReport` in ``result.report``.
+    kwargs:
+        Algorithm-specific knobs (``lowhigh_method``, ``list_ranking``,
+        ``fallback_ratio``, ...).
+    """
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return fn(g, machine, **kwargs)
+
+
+def articulation_points(
+    g: Graph, algorithm: str = "tv-filter", machine: Machine | None = None
+) -> np.ndarray:
+    """Cut vertices of ``g`` ("fault-tolerant network design", paper §1)."""
+    return biconnected_components(g, algorithm, machine).articulation_points()
+
+
+def bridges(
+    g: Graph, algorithm: str = "tv-filter", machine: Machine | None = None
+) -> np.ndarray:
+    """Edge indices of bridges (single-edge blocks) of ``g``."""
+    return biconnected_components(g, algorithm, machine).bridges()
+
+
+def is_biconnected(
+    g: Graph, algorithm: str = "tv-filter", machine: Machine | None = None
+) -> bool:
+    """True iff ``g`` is biconnected (2-vertex-connected).
+
+    Follows the usual convention: at least three vertices, connected, and
+    no articulation points — equivalently, a single block covering every
+    vertex.  (K2 is a block but not a biconnected *graph* under this
+    definition; change the n >= 3 guard at the call site if your
+    convention differs.)
+    """
+    if g.n < 3:
+        return False
+    res = biconnected_components(g, algorithm, machine)
+    if res.num_components != 1:
+        return False
+    # a single block must also cover every vertex (no isolated vertices)
+    deg_ok = bool((g.degrees() > 0).all())
+    return deg_ok and res.articulation_points().size == 0

@@ -1,0 +1,165 @@
+"""Plain-text rendering of experiment results (paper-shaped tables)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from .runner import AblationRow, Fig3Cell, Fig4Row, FilterClaimRow, FIG4_STEPS
+
+__all__ = [
+    "table",
+    "format_fig3",
+    "format_fig4",
+    "format_fig4_bars",
+    "format_fig1",
+    "format_filter_claims",
+    "format_ablation",
+    "ascii_bars",
+]
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        return f"{x:.3f}"
+    return str(x)
+
+
+def format_fig3(cells: list[Fig3Cell]) -> str:
+    """Fig. 3: one block per density; rows = p, columns = algorithms."""
+    by_density: dict[int, list[Fig3Cell]] = defaultdict(list)
+    for c in cells:
+        by_density[c.density].append(c)
+    blocks = []
+    for density in sorted(by_density):
+        group = by_density[density]
+        seq = next(c for c in group if c.algorithm == "sequential")
+        algs = sorted({c.algorithm for c in group} - {"sequential"})
+        procs = sorted({c.p for c in group if c.algorithm != "sequential"})
+        headers = ["p"] + [f"{a} [s]" for a in algs] + [f"{a} speedup" for a in algs]
+        rows = []
+        for p in procs:
+            row = [p]
+            at_p = {c.algorithm: c for c in group if c.p == p}
+            for a in algs:
+                row.append(at_p[a].sim_time_s)
+            for a in algs:
+                row.append(at_p[a].speedup)
+            rows.append(row)
+        title = (
+            f"Fig. 3 — n={seq.n:,}, m={seq.m:,} (m/n={density}); "
+            f"sequential Tarjan = {seq.sim_time_s:.3f}s (simulated E4500 time)"
+        )
+        blocks.append(table(headers, rows, title))
+    return "\n\n".join(blocks)
+
+
+def format_fig4(rows: list[Fig4Row]) -> str:
+    """Fig. 4: per-step breakdown columns per (density, algorithm)."""
+    by_density: dict[int, list[Fig4Row]] = defaultdict(list)
+    for r in rows:
+        by_density[r.density].append(r)
+    blocks = []
+    for density in sorted(by_density):
+        group = by_density[density]
+        headers = ["step"] + [r.algorithm for r in group]
+        body = []
+        for step in FIG4_STEPS:
+            if all(r.steps.get(step, 0.0) == 0.0 for r in group):
+                continue
+            body.append([step] + [r.steps.get(step, 0.0) for r in group])
+        body.append(["TOTAL"] + [r.total_s for r in group])
+        title = (
+            f"Fig. 4 — breakdown at p={group[0].p}, n={group[0].n:,}, "
+            f"m={group[0].m:,} (m/n={density}); simulated seconds"
+        )
+        blocks.append(table(headers, body, title))
+    return "\n\n".join(blocks)
+
+
+def format_fig1(result: dict) -> str:
+    headers = ["graph", "cond1", "cond2", "cond3", "|R''c|", "aux |V| (used)", "aux |E|"]
+    rows = []
+    for label in ("G1", "G2"):
+        r = result[label]
+        c1, c2, c3 = r["condition_counts"]
+        rows.append([label, c1, c2, c3, r["relation_size"],
+                     r["aux_vertices_used"], r["aux_edges"]])
+    return table(
+        headers, rows,
+        "Fig. 1 — worked example (paper: G1 = 4+4+3 = 11, aux 10V/11E; "
+        "G2 = 2+2+3 = 7, aux 8V/7E)",
+    )
+
+
+def format_filter_claims(rows: list[FilterClaimRow]) -> str:
+    headers = [
+        "m/n", "m", "|T|", "|F|", "filtered", "bound max(m-2(n-1),0)",
+        "BFS levels", "#BCC true", "#BCC 2xBFS recipe",
+    ]
+    body = [
+        [r.density, r.m, r.tree_edges, r.forest_edges, r.filtered_edges,
+         r.guaranteed_minimum, r.bfs_levels, r.bcc_count_true,
+         r.bcc_count_bfs_recipe]
+        for r in rows
+    ]
+    return table(headers, body, f"§4 filtering claims — n={rows[0].n:,}")
+
+
+def format_ablation(rows: list[AblationRow], title: str) -> str:
+    headers = ["configuration", "n", "m", "p", "sim [s]", "wall [s]"]
+    body = [[r.label, r.n, r.m, r.p, r.sim_time_s, r.wall_time_s] for r in rows]
+    return table(headers, body, title)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "s",
+) -> str:
+    """Horizontal ASCII bar chart (for Fig. 4-style step breakdowns)."""
+    values = [float(v) for v in values]
+    top = max(values) if values else 0.0
+    lines = []
+    lw = max((len(l) for l in labels), default=0)
+    for label, v in zip(labels, values):
+        bar = "#" * (round(width * v / top) if top > 0 else 0)
+        lines.append(f"{label.ljust(lw)} | {bar} {_fmt(v)}{unit}")
+    return "\n".join(lines)
+
+
+def format_fig4_bars(rows: list[Fig4Row]) -> str:
+    """Fig. 4 rendered as per-algorithm ASCII step bars (one block per
+    density, mirroring the paper's stacked-bar layout)."""
+    by_density: dict[int, list[Fig4Row]] = defaultdict(list)
+    for r in rows:
+        by_density[r.density].append(r)
+    blocks = []
+    for density in sorted(by_density):
+        group = by_density[density]
+        for r in group:
+            steps = [(s, r.steps.get(s, 0.0)) for s in FIG4_STEPS if r.steps.get(s, 0.0) > 0]
+            blocks.append(
+                f"{r.algorithm}  (m/n={density}, p={r.p}, total {_fmt(r.total_s)}s)\n"
+                + ascii_bars([s for s, _ in steps], [v for _, v in steps])
+            )
+    return "\n\n".join(blocks)

@@ -1,0 +1,433 @@
+"""Experiment runners: one function per paper figure/claim.
+
+Each runner really executes the algorithms (vectorized numpy) on freshly
+generated instances and reports *simulated* E4500 times (the substitution
+of DESIGN.md §2) alongside wall-clock seconds of the vectorized execution.
+
+Scale: the paper uses n = 1M.  The default here is n = 100k (the cost
+model is scale-invariant; see DESIGN.md); pass ``n=1_000_000`` or set
+``REPRO_BENCH_SCALE=paper`` to run the original size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import tarjan_bcc, tv_bcc, tv_filter_bcc
+from ..core.filter import FilterStats, count_biconnected_components_bfs
+from ..graph import Graph, generators as gen
+from ..smp import PAPER_PROCESSOR_GRID, Machine, e4500, sequential_machine
+
+__all__ = [
+    "default_n",
+    "Fig3Cell",
+    "run_fig3",
+    "Fig4Row",
+    "run_fig4",
+    "run_fig1",
+    "FilterClaimRow",
+    "run_filter_claims",
+    "AblationRow",
+    "run_ablation_euler",
+    "run_ablation_spanning",
+    "run_ablation_auxcc",
+    "run_ablation_lowhigh",
+    "run_fallback_sweep",
+    "run_pathological",
+    "run_dense",
+]
+
+#: Densities (m/n) in the Fig. 3 / Fig. 4 grid.  The paper sweeps several
+#: densities up to m = n log2 n (= 20 for n = 1M; we use the analogous
+#: log2 n of the chosen scale, ~17 at n = 100k).
+DEFAULT_DENSITIES = (4, 8, 12, 17)
+
+
+def default_n() -> int:
+    """Benchmark scale: REPRO_BENCH_N, or 1M under REPRO_BENCH_SCALE=paper."""
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+        return 1_000_000
+    return int(os.environ.get("REPRO_BENCH_N", "100000"))
+
+
+def _algorithms(include_sequential: bool = False):
+    algos = [
+        ("tv-smp", lambda g, m: tv_bcc(g, m, variant="smp")),
+        ("tv-opt", lambda g, m: tv_bcc(g, m, variant="opt")),
+        ("tv-filter", lambda g, m: tv_filter_bcc(g, m, fallback_ratio=None)),
+    ]
+    if include_sequential:
+        algos.insert(0, ("sequential", lambda g, m: tarjan_bcc(g, m)))
+    return algos
+
+
+@dataclass
+class Fig3Cell:
+    """One point of the paper's Fig. 3: (density, algorithm, p)."""
+
+    n: int
+    m: int
+    density: int
+    algorithm: str
+    p: int
+    sim_time_s: float
+    wall_time_s: float
+    seq_sim_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Simulated speedup over the sequential Tarjan baseline."""
+        return self.seq_sim_time_s / self.sim_time_s
+
+
+def run_fig3(
+    n: int | None = None,
+    densities=DEFAULT_DENSITIES,
+    procs=PAPER_PROCESSOR_GRID,
+    seed: int = 42,
+    verify: bool = True,
+    replay: bool = False,
+) -> list[Fig3Cell]:
+    """Fig. 3: execution time of all algorithms vs p over edge densities.
+
+    With ``replay=True`` each algorithm executes once per instance on a
+    :class:`~repro.smp.trace.TraceMachine` and the processor grid is
+    priced by trace replay — ~len(procs)x faster, exact at the recorded
+    p = 12 and within a few percent elsewhere (see repro/smp/trace.py).
+    """
+    from ..smp import SUN_E4500, TraceMachine, evaluate_trace
+
+    n = n or default_n()
+    cells: list[Fig3Cell] = []
+    for density in densities:
+        g = gen.random_connected_gnm(n, density * n, seed=seed)
+        seq_machine = sequential_machine()
+        t0 = time.perf_counter()
+        seq = tarjan_bcc(g, seq_machine)
+        seq_wall = time.perf_counter() - t0
+        seq_sim = seq_machine.time_s
+        cells.append(
+            Fig3Cell(n, g.m, density, "sequential", 1, seq_sim, seq_wall, seq_sim)
+        )
+        for name, fn in _algorithms():
+            if replay:
+                machine = TraceMachine(p=12, costs=SUN_E4500)
+                t0 = time.perf_counter()
+                res = fn(g, machine)
+                wall = time.perf_counter() - t0
+                if verify and not res.same_partition(seq):
+                    raise AssertionError(f"{name} disagreed with sequential Tarjan")
+                for p in procs:
+                    rep = evaluate_trace(machine.trace, p, SUN_E4500)
+                    cells.append(
+                        Fig3Cell(n, g.m, density, name, p, rep.time_s, wall, seq_sim)
+                    )
+                continue
+            for p in procs:
+                machine = e4500(p)
+                t0 = time.perf_counter()
+                res = fn(g, machine)
+                wall = time.perf_counter() - t0
+                if verify and not res.same_partition(seq):
+                    raise AssertionError(f"{name} disagreed with sequential Tarjan")
+                cells.append(
+                    Fig3Cell(n, g.m, density, name, p, machine.time_s, wall, seq_sim)
+                )
+    return cells
+
+
+#: Step order of the paper's Fig. 4 stacked bars.
+FIG4_STEPS = (
+    "Filtering",
+    "Spanning-tree",
+    "Euler-tour",
+    "Root-tree",
+    "Low-high",
+    "Label-edge",
+    "Connected-components",
+)
+
+
+@dataclass
+class Fig4Row:
+    """One stacked bar of Fig. 4: per-step breakdown at p processors."""
+
+    n: int
+    m: int
+    density: int
+    algorithm: str
+    p: int
+    steps: dict = field(default_factory=dict)  # step name -> simulated s
+    total_s: float = 0.0
+
+
+def run_fig4(
+    n: int | None = None,
+    densities=DEFAULT_DENSITIES,
+    p: int = 12,
+    seed: int = 42,
+) -> list[Fig4Row]:
+    """Fig. 4: per-step breakdown at 12 processors across densities."""
+    n = n or default_n()
+    rows: list[Fig4Row] = []
+    for density in densities:
+        g = gen.random_connected_gnm(n, density * n, seed=seed)
+        for name, fn in _algorithms():
+            machine = e4500(p)
+            fn(g, machine)
+            rep = machine.report()
+            region = rep.region_times_s()
+            steps = {s: region.get(s, 0.0) for s in FIG4_STEPS}
+            rows.append(Fig4Row(n, g.m, density, name, p, steps, rep.time_s))
+    return rows
+
+
+def run_fig1() -> dict:
+    """The Fig. 1 worked example: R''c condition counts for G1 and G2."""
+    from ..core.auxgraph import build_auxiliary_graph
+    from ..core.lowhigh import low_high
+    from ..primitives.euler_tour import TreeNumbering
+
+    parent = np.array([0, 0, 1, 0, 3, 0, 5])
+    pre = np.arange(7)
+    size = np.array([7, 2, 1, 2, 1, 2, 1])
+    depth = np.array([0, 1, 2, 1, 2, 1, 2])
+    tree_edges = [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]
+    nontree = {"G1": [(1, 3), (3, 5), (2, 4), (4, 6)], "G2": [(2, 4), (4, 6)]}
+    out = {}
+    for label, extra in nontree.items():
+        edges = tree_edges + extra
+        eu = np.array([a for a, b in edges], dtype=np.int64)
+        ev = np.array([b for a, b in edges], dtype=np.int64)
+        m = eu.size
+        tree_mask = np.zeros(m, dtype=bool)
+        tree_mask[: len(tree_edges)] = True
+        child_of_edge = np.full(m, -1, dtype=np.int64)
+        parent_edge = np.full(7, -1, dtype=np.int64)
+        for i, (a, b) in enumerate(tree_edges):
+            child = b if parent[b] == a else a
+            child_of_edge[i] = child
+            parent_edge[child] = i
+        numbering = TreeNumbering(
+            parent.copy(), parent_edge, pre.copy(), size.copy(), depth.copy(),
+            np.array([0]),
+        )
+        low, high = low_high(eu[~tree_mask], ev[~tree_mask], numbering)
+        aux = build_auxiliary_graph(
+            7, eu, ev, np.ones(m, dtype=bool), tree_mask, child_of_edge,
+            numbering, low, high,
+        )
+        used = np.unique(np.concatenate([aux.au, aux.av])).size
+        out[label] = {
+            "condition_counts": aux.condition_counts,
+            "relation_size": sum(aux.condition_counts),
+            "aux_vertices_used": int(used),
+            "aux_edges": int(aux.au.size),
+        }
+    return out
+
+
+@dataclass
+class FilterClaimRow:
+    n: int
+    m: int
+    density: float
+    tree_edges: int
+    forest_edges: int
+    filtered_edges: int
+    guaranteed_minimum: int
+    bfs_levels: int
+    bcc_count_true: int
+    bcc_count_bfs_recipe: int
+
+
+def run_filter_claims(
+    n: int | None = None, densities=DEFAULT_DENSITIES, seed: int = 42
+) -> list[FilterClaimRow]:
+    """§4 claims: filtered-edge bound and the two-BFS counting corollary."""
+    n = n or default_n()
+    rows = []
+    for density in densities:
+        g = gen.random_connected_gnm(n, density * n, seed=seed)
+        stats: list[FilterStats] = []
+        res = tv_filter_bcc(g, fallback_ratio=None, stats_out=stats)
+        st = stats[0]
+        rows.append(
+            FilterClaimRow(
+                n=n,
+                m=g.m,
+                density=density,
+                tree_edges=st.tree_edges,
+                forest_edges=st.forest_edges,
+                filtered_edges=st.filtered_edges,
+                guaranteed_minimum=st.guaranteed_minimum_filtered,
+                bfs_levels=st.bfs_levels,
+                bcc_count_true=res.num_components,
+                bcc_count_bfs_recipe=count_biconnected_components_bfs(g),
+            )
+        )
+    return rows
+
+
+@dataclass
+class AblationRow:
+    label: str
+    n: int
+    m: int
+    p: int
+    sim_time_s: float
+    wall_time_s: float
+    extra: dict = field(default_factory=dict)
+
+
+def _timed(label, fn, g, p, **extra) -> AblationRow:
+    machine = e4500(p)
+    t0 = time.perf_counter()
+    fn(machine)
+    wall = time.perf_counter() - t0
+    return AblationRow(label, g.n, g.m, p, machine.time_s, wall, extra)
+
+
+def run_ablation_euler(n: int | None = None, p: int = 12, seed: int = 42) -> list[AblationRow]:
+    """§3.2 design choice: tour + list ranking vs DFS-ordered numbering."""
+    from ..primitives import (
+        euler_tour_numbering,
+        numbering_from_parents,
+        traversal_spanning_tree,
+    )
+
+    n = n or default_n()
+    g = gen.random_tree(n, seed=seed)
+    trav = traversal_spanning_tree(g, root=0)
+    rows = [
+        _timed(
+            "tour+wyllie (TV-SMP)",
+            lambda m: euler_tour_numbering(
+                g.n, g.u, g.v, m, roots=np.array([0]), list_ranking="wyllie"
+            ),
+            g, p,
+        ),
+        _timed(
+            "tour+helman-jaja",
+            lambda m: euler_tour_numbering(
+                g.n, g.u, g.v, m, roots=np.array([0]), list_ranking="helman-jaja"
+            ),
+            g, p,
+        ),
+        _timed(
+            "dfs-numbering (TV-opt)",
+            lambda m: numbering_from_parents(trav.parent, trav.level, trav.parent_edge, m),
+            g, p,
+        ),
+    ]
+    return rows
+
+
+def run_ablation_spanning(
+    n: int | None = None, density: int = 8, p: int = 12, seed: int = 42
+) -> list[AblationRow]:
+    """§3.2 design choice: SV spanning tree vs traversal spanning tree."""
+    from ..primitives import hcs_spanning_tree, sv_spanning_tree, traversal_spanning_tree
+
+    n = n or default_n()
+    g = gen.random_connected_gnm(n, density * n, seed=seed)
+    return [
+        _timed("sv-textbook (TV-SMP)", lambda m: sv_spanning_tree(g, m, mode="textbook"), g, p),
+        _timed("sv-engineered", lambda m: sv_spanning_tree(g, m, mode="engineered"), g, p),
+        _timed("hcs", lambda m: hcs_spanning_tree(g, m), g, p),
+        _timed("traversal (TV-opt)", lambda m: traversal_spanning_tree(g, 0, m), g, p),
+    ]
+
+
+def run_ablation_auxcc(
+    n: int | None = None, density: int = 12, p: int = 12, seed: int = 42
+) -> list[AblationRow]:
+    """Beyond-paper: full aux-graph CC vs leaf-pruned CC."""
+    n = n or default_n()
+    g = gen.random_connected_gnm(n, density * n, seed=seed)
+    return [
+        _timed("tv-opt aux_cc=full (paper)",
+               lambda m: tv_bcc(g, m, variant="opt", aux_cc="full"), g, p),
+        _timed("tv-opt aux_cc=pruned",
+               lambda m: tv_bcc(g, m, variant="opt", aux_cc="pruned"), g, p),
+        _timed("tv-filter aux_cc=full (paper)",
+               lambda m: tv_filter_bcc(g, m, fallback_ratio=None, aux_cc="full"), g, p),
+        _timed("tv-filter aux_cc=pruned",
+               lambda m: tv_filter_bcc(g, m, fallback_ratio=None, aux_cc="pruned"), g, p),
+    ]
+
+
+def run_ablation_lowhigh(
+    n: int | None = None, density: int = 8, p: int = 12, seed: int = 42
+) -> list[AblationRow]:
+    """Low-high aggregation: level sweep vs preorder-interval RMQ."""
+    n = n or default_n()
+    g = gen.random_connected_gnm(n, density * n, seed=seed)
+    return [
+        _timed("tv-opt lowhigh=sweep",
+               lambda m: tv_bcc(g, m, variant="opt", lowhigh_method="sweep"), g, p),
+        _timed("tv-opt lowhigh=rmq",
+               lambda m: tv_bcc(g, m, variant="opt", lowhigh_method="rmq"), g, p),
+        _timed("tv-opt lowhigh=contraction",
+               lambda m: tv_bcc(g, m, variant="opt", lowhigh_method="contraction"),
+               g, p),
+    ]
+
+
+def run_fallback_sweep(
+    n: int | None = None, p: int = 12, seed: int = 42
+) -> list[AblationRow]:
+    """§4: where does filtering start to pay?  Sweep m/n around 4."""
+    n = n or default_n()
+    rows = []
+    for density in (2, 3, 4, 6, 8, 12):
+        g = gen.random_connected_gnm(n, density * n, seed=seed)
+        rows.append(
+            _timed(f"tv-opt m/n={density}",
+                   lambda m: tv_bcc(g, m, variant="opt"), g, p,
+                   density=density, algorithm="tv-opt")
+        )
+        rows.append(
+            _timed(f"tv-filter m/n={density}",
+                   lambda m: tv_filter_bcc(g, m, fallback_ratio=None), g, p,
+                   density=density, algorithm="tv-filter")
+        )
+    return rows
+
+
+def run_pathological(n: int | None = None, p: int = 12, seed: int = 42) -> list[AblationRow]:
+    """§4: d = O(n) pathological chain vs diameter-2-ish random graph."""
+    n = n or default_n()
+    n_path = min(n, 20_000)  # the chain costs O(d) = O(n) BFS rounds
+    chain = gen.path_graph(n_path)
+    rng_graph = gen.random_connected_gnm(n_path, 4 * n_path, seed=seed)
+    rows = []
+    for label, g in (("chain d=O(n)", chain), ("random d=O(log n)", rng_graph)):
+        rows.append(
+            _timed(f"tv-filter {label}",
+                   lambda m: tv_filter_bcc(g, m, fallback_ratio=None), g, p,
+                   graph=label)
+        )
+        rows.append(
+            _timed(f"sequential {label}", lambda m: tarjan_bcc(g, m), g, 1,
+                   graph=label)
+        )
+    return rows
+
+
+def run_dense(p: int = 12, seed: int = 42, n: int = 1500) -> list[AblationRow]:
+    """Woo–Sahni's regime (§1): graphs keeping 70%/90% of K_n's edges."""
+    rows = []
+    for frac in (0.7, 0.9):
+        g = gen.dense_gnm(n, frac, seed=seed)
+        ms = sequential_machine()
+        tarjan_bcc(g, ms)
+        for name, fn in _algorithms():
+            row = _timed(f"{name} {int(frac * 100)}%", lambda m: fn(g, m), g, p,
+                         fraction=frac, seq_sim_time_s=ms.time_s)
+            rows.append(row)
+    return rows

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+bcc        compute biconnected components of a graph file
+generate   write a generated instance to a graph file
+convert    convert between edge-list / DIMACS / METIS formats
+info       structural summary of a graph file (blocks, cuts, bridges)
+augment    add edges until the graph is biconnected
+
+Graph file formats are selected by extension: ``.edges`` (plain edge
+list), ``.dimacs``/``.col`` (DIMACS), ``.metis``/``.graph`` (METIS).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .api import ALGORITHMS, biconnected_components
+from .core.blockcut import augment_to_biconnected, block_cut_tree
+from .graph import Graph, generators as gen
+from .graph.io import (
+    read_dimacs,
+    read_edgelist,
+    read_metis,
+    write_dimacs,
+    write_edgelist,
+    write_metis,
+)
+from .smp import e4500
+
+__all__ = ["main"]
+
+_READERS = {
+    "edges": read_edgelist,
+    "dimacs": read_dimacs,
+    "col": read_dimacs,
+    "metis": read_metis,
+    "graph": read_metis,
+}
+_WRITERS = {
+    "edges": write_edgelist,
+    "dimacs": write_dimacs,
+    "col": write_dimacs,
+    "metis": write_metis,
+    "graph": write_metis,
+}
+
+
+def _format_of(path: str) -> str:
+    ext = path.rsplit(".", 1)[-1].lower() if "." in path else ""
+    if ext not in _READERS:
+        raise SystemExit(
+            f"unrecognized graph extension {ext!r} for {path!r}; "
+            f"use one of {sorted(_READERS)}"
+        )
+    return ext
+
+
+def _read(path: str) -> Graph:
+    return _READERS[_format_of(path)](path)
+
+
+def _write(g: Graph, path: str) -> None:
+    _WRITERS[_format_of(path)](g, path)
+
+
+GENERATORS = {
+    "gnm": lambda args: gen.random_gnm(args.n, args.m, seed=args.seed),
+    "connected-gnm": lambda args: gen.random_connected_gnm(args.n, args.m, seed=args.seed),
+    "tree": lambda args: gen.random_tree(args.n, seed=args.seed),
+    "path": lambda args: gen.path_graph(args.n),
+    "cycle": lambda args: gen.cycle_graph(args.n),
+    "star": lambda args: gen.star_graph(args.n),
+    "complete": lambda args: gen.complete_graph(args.n),
+    "rmat": lambda args: gen.rmat_graph(
+        max(args.n - 1, 1).bit_length(), edge_factor=args.m / max(args.n, 1), seed=args.seed
+    ),
+}
+
+
+def cmd_bcc(args) -> int:
+    g = _read(args.graph)
+    machine = e4500(args.p) if args.p else None
+    res = biconnected_components(g, algorithm=args.algorithm, machine=machine)
+    print(f"n={g.n} m={g.m} algorithm={res.algorithm}")
+    print(f"biconnected components: {res.num_components}")
+    sizes = res.component_sizes()
+    if sizes.size:
+        print(f"largest block: {int(sizes.max())} edges; "
+              f"single-edge blocks (bridges): {int((sizes == 1).sum())}")
+    print(f"articulation points: {res.articulation_points().size}")
+    if machine is not None:
+        print(f"simulated E4500 time at p={args.p}: {machine.time_s:.4f}s")
+        for step, sec in res.report.region_times_s().items():
+            print(f"  {step:22s} {sec:8.4f}s")
+    if args.labels_out:
+        np.savetxt(args.labels_out, res.edge_labels, fmt="%d")
+        print(f"edge labels written to {args.labels_out}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    g = GENERATORS[args.family](args)
+    _write(g, args.out)
+    print(f"wrote {args.family} graph n={g.n} m={g.m} to {args.out}")
+    return 0
+
+
+def cmd_convert(args) -> int:
+    g = _read(args.src)
+    _write(g, args.dst)
+    print(f"converted {args.src} -> {args.dst} (n={g.n}, m={g.m})")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from .graph.validate import is_connected
+
+    g = _read(args.graph)
+    deg = g.degrees()
+    res = biconnected_components(g, algorithm=args.algorithm)
+    bct = block_cut_tree(res)
+    print(f"file            : {args.graph}")
+    print(f"vertices        : {g.n}")
+    print(f"edges           : {g.m}")
+    print(f"avg degree      : {g.density:.2f}")
+    if g.n:
+        print(f"degree min/max  : {int(deg.min())}/{int(deg.max())}")
+    print(f"connected       : {is_connected(g)}")
+    print(f"blocks          : {res.num_components}")
+    print(f"articulation pts: {res.articulation_points().size}")
+    print(f"bridges         : {res.bridges().size}")
+    print(f"leaf blocks     : {bct.leaf_blocks().size}")
+    return 0
+
+
+def cmd_augment(args) -> int:
+    g = _read(args.graph)
+    g2, added = augment_to_biconnected(g, algorithm=args.algorithm)
+    _write(g2, args.out)
+    print(f"added {len(added)} edge(s); wrote biconnected graph to {args.out}")
+    for a, b in added:
+        print(f"  + ({a}, {b})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bcc", help="compute biconnected components")
+    p.add_argument("graph")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="tv-filter")
+    p.add_argument("--p", type=int, default=0,
+                   help="simulate this many E4500 processors (0: off)")
+    p.add_argument("--labels-out", default=None,
+                   help="write per-edge block labels to this file")
+    p.set_defaults(fn=cmd_bcc)
+
+    p = sub.add_parser("generate", help="generate an instance")
+    p.add_argument("family", choices=sorted(GENERATORS))
+    p.add_argument("out")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--m", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("convert", help="convert between graph formats")
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser("info", help="structural summary")
+    p.add_argument("graph")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="tv-filter")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("augment", help="augment to biconnectivity")
+    p.add_argument("graph")
+    p.add_argument("out")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="tv-filter")
+    p.set_defaults(fn=cmd_augment)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

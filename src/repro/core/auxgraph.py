@@ -1,0 +1,197 @@
+"""Building the auxiliary graph G'' — the paper's Algorithm 1.
+
+Tarjan–Vishkin prove that the transitive closure of the size-O(m) relation
+R''c partitions G's edges into biconnected components, but leave implicit
+how a pair (e, g) in R''c becomes an *edge of a graph* when the vertices of
+G'' are edges of G.  Algorithm 1 fills the gap with an explicit mapping:
+
+* tree edge (u, p(u))  ->  aux vertex ``u``            (u is never a root);
+* j-th nontree edge    ->  aux vertex ``n + j`` where j comes from a prefix
+  sum over the nontree indicator (the paper's ``N`` array).
+
+Candidate aux edges are staged into a 3|L|-slot temporary (condition 1 in
+the first band, condition 2 in the second, condition 3 in the third, where
+L is the considered edge list) and compacted with prefix sums — exactly
+the space-efficient layout the paper describes, "no concurrent reads or
+writes required".  The packed output keeps the band order, so the first
+``condition_counts[0]`` aux edges are the condition-1 ones.
+
+Conditions (preorder formulation; w = parent of c; r = component root):
+
+1. nontree g = (u, v) with pre(v) < pre(u)      ->  { u,  aux(g) }
+2. nontree (u, v), u and v unrelated            ->  { u,  v }
+3. tree (c, w), w != r, and low(c) < pre(w) or
+   high(c) >= pre(w) + size(w)                  ->  { c,  w }
+
+For TV-filter the considered list is T ∪ F: the whole step then costs
+O(|T ∪ F|) = O(n) regardless of m — that is the filtering payoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..primitives.compaction import pack_indices
+from ..primitives.euler_tour import TreeNumbering
+from ..primitives.prefix_sum import prefix_sum
+from ..smp import Machine, NullMachine, Ops
+
+__all__ = ["AuxiliaryGraph", "build_auxiliary_graph", "condition_counts"]
+
+
+class AuxiliaryGraph:
+    """The auxiliary graph G'' = (V'', E'') of Algorithm 1.
+
+    Attributes
+    ----------
+    num_vertices:
+        ``n + (number of nontree edges considered)``.
+    au, av:
+        Endpoint arrays of E'', in condition-band order (all condition-1
+        edges first, then condition 2, then condition 3).
+    aux_id_of_edge:
+        ``int64[m]``; the aux vertex each considered graph edge maps to
+        (-1 for edges excluded from consideration, e.g. filtered edges).
+    condition_counts:
+        Number of aux edges contributed by conditions (1, 2, 3) — the
+        quantities the paper's Fig. 1 walks through.
+    """
+
+    __slots__ = ("num_vertices", "au", "av", "aux_id_of_edge", "condition_counts")
+
+    def __init__(self, num_vertices, au, av, aux_id_of_edge, condition_counts):
+        self.num_vertices = num_vertices
+        self.au = au
+        self.av = av
+        self.aux_id_of_edge = aux_id_of_edge
+        self.condition_counts = condition_counts
+
+
+def build_auxiliary_graph(
+    n: int,
+    edges_u: np.ndarray,
+    edges_v: np.ndarray,
+    consider: np.ndarray,
+    tree_mask: np.ndarray,
+    child_of_edge: np.ndarray,
+    numbering: TreeNumbering,
+    low: np.ndarray,
+    high: np.ndarray,
+    machine: Machine | None = None,
+) -> AuxiliaryGraph:
+    """Algorithm 1 over the ``consider``-masked edges of (edges_u, edges_v).
+
+    ``tree_mask`` flags spanning-tree/forest edges (must be a subset of
+    ``consider``); ``child_of_edge[i]`` is the child endpoint of tree edge
+    i (-1 for nontree edges).  Work is proportional to the number of
+    considered edges, not to m.
+    """
+    machine = machine or NullMachine()
+    eu_all = np.asarray(edges_u, dtype=np.int64)
+    ev_all = np.asarray(edges_v, dtype=np.int64)
+    m = eu_all.size
+    consider = np.asarray(consider, dtype=bool)
+    tree_mask = np.asarray(tree_mask, dtype=bool)
+    pre = numbering.pre
+    parent = numbering.parent
+    size = numbering.size
+    machine.spawn()
+
+    # physical edge list L = the considered edges (for plain TV this is
+    # simply every edge; for TV-filter it is T ∪ F)
+    idxC = np.flatnonzero(consider)
+    k = idxC.size
+    eu = eu_all[idxC]
+    ev = ev_all[idxC]
+    is_tree = tree_mask[idxC]
+
+    # the paper's N array: distinct number for every considered nontree edge
+    nontree_flag = (~is_tree).astype(np.int64)
+    N = prefix_sum(nontree_flag, machine=machine)
+    aux_id = np.full(m, -1, dtype=np.int64)
+    local_aux = np.where(is_tree, child_of_edge[idxC], n + N - 1)
+    aux_id[idxC] = local_aux
+    machine.parallel(k, Ops(contig=3, alu=1))
+    num_aux_vertices = n + (int(N[-1]) if k else 0)
+
+    # one gather of both endpoints' preorder numbers, shared by conditions
+    # 1 and 2 (a real implementation reads pre[u], pre[v] once per edge)
+    pre_u = pre[eu]
+    pre_v = pre[ev]
+    size_u = size[eu]
+    size_v = size[ev]
+    machine.parallel(k, Ops(contig=2, random=4))
+    d = np.where(pre_u < pre_v, ev, eu)  # deeper endpoint (larger preorder)
+
+    # 3|L| staging area (paper's L'), one condition per band
+    stage_u = np.full(3 * k, -1, dtype=np.int64)
+    stage_v = np.full(3 * k, -1, dtype=np.int64)
+    stage_mask = np.zeros(3 * k, dtype=bool)
+
+    # condition 1: nontree (u,v), pre(v) < pre(u): {u, aux(g)}
+    j1 = np.flatnonzero(~is_tree)
+    stage_u[j1] = d[j1]
+    stage_v[j1] = local_aux[j1]
+    stage_mask[j1] = True
+    machine.parallel(j1.size, Ops(contig=3, alu=1))
+
+    # condition 2: nontree (u,v), u and v unrelated: {u, v}
+    # (ancestry tests reuse the gathered pre/size values: pure ALU here)
+    u_anc_v = (pre_u <= pre_v) & (pre_v < pre_u + size_u)
+    v_anc_u = (pre_v <= pre_u) & (pre_u < pre_v + size_v)
+    unrel = ~is_tree & ~u_anc_v & ~v_anc_u
+    j2 = np.flatnonzero(unrel)
+    stage_u[k + j2] = eu[j2]
+    stage_v[k + j2] = ev[j2]
+    stage_mask[k + j2] = True
+    machine.parallel(j1.size, Ops(contig=3, alu=6))
+
+    # condition 3: tree (c, w), w not a root, subtree of c escapes w
+    j3 = np.flatnonzero(is_tree)
+    c = child_of_edge[idxC[j3]]
+    w = parent[c]
+    w_nonroot = parent[w] != w
+    escapes = (low[c] < pre[w]) | (high[c] >= pre[w] + size[w])
+    sel = w_nonroot & escapes
+    stage_u[2 * k + j3[sel]] = c[sel]
+    stage_v[2 * k + j3[sel]] = w[sel]
+    stage_mask[2 * k + j3[sel]] = True
+    machine.parallel(j3.size, Ops(random=6, alu=4))
+
+    counts = (
+        int(stage_mask[:k].sum()),
+        int(stage_mask[k : 2 * k].sum()),
+        int(stage_mask[2 * k :].sum()),
+    )
+    # single compaction: compute the pack permutation once, apply it to
+    # both endpoint arrays (the paper's "compact L' into G'")
+    keep = pack_indices(stage_mask, machine=machine)
+    au = stage_u[keep]
+    av = stage_v[keep]
+    machine.parallel(keep.size, Ops(contig=2, random=2))
+    return AuxiliaryGraph(num_aux_vertices, au, av, aux_id, counts)
+
+
+def condition_counts(
+    n: int,
+    edges_u: np.ndarray,
+    edges_v: np.ndarray,
+    tree_mask: np.ndarray,
+    child_of_edge: np.ndarray,
+    numbering: TreeNumbering,
+    low: np.ndarray,
+    high: np.ndarray,
+) -> tuple[int, int, int]:
+    """Sizes of R''c's three condition sets (the paper's Fig. 1 numbers)."""
+    aux = build_auxiliary_graph(
+        n,
+        edges_u,
+        edges_v,
+        np.ones(np.asarray(edges_u).size, dtype=bool),
+        tree_mask,
+        child_of_edge,
+        numbering,
+        low,
+        high,
+    )
+    return aux.condition_counts

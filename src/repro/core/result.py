@@ -1,0 +1,135 @@
+"""Result type shared by every biconnected-components algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..smp import MachineReport
+
+__all__ = ["BCCResult", "canonical_edge_labels"]
+
+
+def canonical_edge_labels(labels: np.ndarray) -> np.ndarray:
+    """Renumber component labels by first occurrence (0, 1, 2, ...).
+
+    Two algorithms produce the same partition iff their canonical labels
+    are identical arrays (edge order is canonical in :class:`Graph`).
+    """
+    labels = np.asarray(labels)
+    out = np.full(labels.shape, -1, dtype=np.int64)
+    _, first_idx, inverse = np.unique(labels, return_index=True, return_inverse=True)
+    # np.unique sorts by value; re-rank by first occurrence
+    rank_by_first = np.argsort(np.argsort(first_idx))
+    out[:] = rank_by_first[inverse]
+    return out
+
+
+class BCCResult:
+    """Biconnected components of a graph.
+
+    Attributes
+    ----------
+    graph:
+        The input graph (edges in canonical order).
+    edge_labels:
+        ``int64[m]``; ``edge_labels[i]`` is the biconnected component id of
+        edge i, canonicalized to 0..num_components-1 by first occurrence.
+    algorithm:
+        Name of the algorithm that produced the result.
+    report:
+        The simulated-machine accounting (None when run uninstrumented).
+    """
+
+    __slots__ = ("graph", "edge_labels", "algorithm", "report", "_cut_cache")
+
+    def __init__(
+        self,
+        graph: Graph,
+        edge_labels: np.ndarray,
+        algorithm: str,
+        report: MachineReport | None = None,
+    ):
+        if np.asarray(edge_labels).shape != (graph.m,):
+            raise ValueError("edge_labels must have one entry per edge")
+        self.graph = graph
+        self.edge_labels = canonical_edge_labels(edge_labels)
+        self.algorithm = algorithm
+        self.report = report
+        self._cut_cache = None
+
+    @property
+    def num_components(self) -> int:
+        """Number of biconnected components (blocks)."""
+        if self.graph.m == 0:
+            return 0
+        return int(self.edge_labels.max()) + 1
+
+    def components(self) -> list[np.ndarray]:
+        """Edge-index arrays, one per component, ordered by component id."""
+        order = np.argsort(self.edge_labels, kind="stable")
+        bounds = np.searchsorted(self.edge_labels[order], np.arange(self.num_components + 1))
+        return [order[bounds[i] : bounds[i + 1]] for i in range(self.num_components)]
+
+    def component_sizes(self) -> np.ndarray:
+        """Number of edges in each component."""
+        if self.graph.m == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.edge_labels, minlength=self.num_components).astype(np.int64)
+
+    def _vertex_block_counts(self) -> np.ndarray:
+        """Number of distinct blocks each vertex belongs to."""
+        if self._cut_cache is not None:
+            return self._cut_cache
+        g = self.graph
+        counts = np.zeros(g.n, dtype=np.int64)
+        if g.m:
+            vert = np.concatenate([g.u, g.v])
+            lab = np.concatenate([self.edge_labels, self.edge_labels])
+            pairs = np.unique(vert * np.int64(self.num_components) + lab)
+            counts = np.bincount(pairs // self.num_components, minlength=g.n).astype(np.int64)
+        self._cut_cache = counts
+        return counts
+
+    def articulation_points(self) -> np.ndarray:
+        """Cut vertices: vertices belonging to two or more blocks."""
+        return np.flatnonzero(self._vertex_block_counts() >= 2).astype(np.int64)
+
+    def bridges(self) -> np.ndarray:
+        """Edge indices of bridges (single-edge biconnected components)."""
+        sizes = self.component_sizes()
+        single = np.flatnonzero(sizes == 1)
+        if single.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.flatnonzero(np.isin(self.edge_labels, single)).astype(np.int64)
+
+    def blocks_of_vertex(self, v: int) -> np.ndarray:
+        """Ids of the blocks containing vertex ``v`` (sorted).
+
+        A vertex belongs to a block when one of its incident edges does;
+        isolated vertices belong to no block, articulation points to two
+        or more.
+        """
+        if not 0 <= v < self.graph.n:
+            raise IndexError(f"vertex {v} out of range")
+        g = self.graph
+        incident = (g.u == v) | (g.v == v)
+        return np.unique(self.edge_labels[incident])
+
+    def vertices_of_block(self, block_id: int) -> np.ndarray:
+        """Sorted vertex set of one block."""
+        if not 0 <= block_id < max(self.num_components, 1):
+            raise IndexError(f"block {block_id} out of range")
+        g = self.graph
+        sel = self.edge_labels == block_id
+        return np.unique(np.concatenate([g.u[sel], g.v[sel]]))
+
+    def same_partition(self, other: "BCCResult") -> bool:
+        """True iff both results partition the edges identically."""
+        return bool(np.array_equal(self.edge_labels, other.edge_labels))
+
+    def __repr__(self) -> str:
+        return (
+            f"BCCResult(algorithm={self.algorithm!r}, n={self.graph.n}, "
+            f"m={self.graph.m}, components={self.num_components})"
+        )

@@ -1,0 +1,17 @@
+"""Graph substrate: representations, generators, I/O, validation."""
+
+from . import generators, io, validate
+from .csr import CSRGraph, expand_ranges
+from .edgelist import Graph
+
+__all__ = ["Graph", "CSRGraph", "expand_ranges", "generators", "io", "validate"]
+
+
+def __getattr__(name):
+    # stats imports primitives (which import this package), so it is
+    # loaded lazily to keep package initialization acyclic
+    if name == "stats":
+        import importlib
+
+        return importlib.import_module(".stats", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

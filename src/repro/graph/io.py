@@ -1,0 +1,174 @@
+"""Graph serialization: plain edge-list text and DIMACS formats.
+
+Both formats are line oriented and deliberately boring — they exist so the
+examples and benchmarks can persist/reload instances, and to import standard
+test graphs.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .edgelist import Graph
+
+__all__ = [
+    "write_edgelist",
+    "read_edgelist",
+    "write_dimacs",
+    "read_dimacs",
+    "write_metis",
+    "read_metis",
+]
+
+
+def _open_for_read(path_or_file) -> tuple[TextIO, bool]:
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, "r", encoding="utf-8"), True
+    return path_or_file, False
+
+
+def _open_for_write(path_or_file) -> tuple[TextIO, bool]:
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, "w", encoding="utf-8"), True
+    return path_or_file, False
+
+
+def write_edgelist(g: Graph, path_or_file) -> None:
+    """Write ``n m`` header line followed by one ``u v`` pair per line."""
+    f, owned = _open_for_write(path_or_file)
+    try:
+        f.write(f"{g.n} {g.m}\n")
+        buf = _io.StringIO()
+        np.savetxt(buf, g.edges(), fmt="%d")
+        f.write(buf.getvalue())
+    finally:
+        if owned:
+            f.close()
+
+
+def read_edgelist(path_or_file) -> Graph:
+    """Read the format produced by :func:`write_edgelist`."""
+    f, owned = _open_for_read(path_or_file)
+    try:
+        header = f.readline().split()
+        if len(header) != 2:
+            raise ValueError("edge-list header must be 'n m'")
+        n, m = int(header[0]), int(header[1])
+        if m == 0:
+            return Graph(n, [], [])
+        data = np.loadtxt(f, dtype=np.int64, ndmin=2)
+        if data.shape != (m, 2):
+            raise ValueError(f"expected {m} edges, found {data.shape[0]}")
+        return Graph(n, data[:, 0], data[:, 1])
+    finally:
+        if owned:
+            f.close()
+
+
+def write_dimacs(g: Graph, path_or_file, comment: str | None = None) -> None:
+    """Write DIMACS format: ``p edge n m`` then ``e u v`` (1-based)."""
+    f, owned = _open_for_write(path_or_file)
+    try:
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"c {line}\n")
+        f.write(f"p edge {g.n} {g.m}\n")
+        edges = g.edges() + 1
+        buf = _io.StringIO()
+        np.savetxt(buf, edges, fmt="e %d %d")
+        f.write(buf.getvalue())
+    finally:
+        if owned:
+            f.close()
+
+
+def read_dimacs(path_or_file) -> Graph:
+    """Read DIMACS ``p edge`` format (1-based vertices)."""
+    f, owned = _open_for_read(path_or_file)
+    try:
+        n = None
+        us: list[int] = []
+        vs: list[int] = []
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "edge":
+                    raise ValueError(f"bad DIMACS problem line: {line!r}")
+                n = int(parts[2])
+            elif parts[0] == "e":
+                if n is None:
+                    raise ValueError("edge line before problem line")
+                us.append(int(parts[1]) - 1)
+                vs.append(int(parts[2]) - 1)
+            else:
+                raise ValueError(f"unrecognized DIMACS line: {line!r}")
+        if n is None:
+            raise ValueError("missing DIMACS problem line")
+        return Graph(n, us, vs)
+    finally:
+        if owned:
+            f.close()
+
+
+def write_metis(g: Graph, path_or_file) -> None:
+    """Write METIS graph format: header ``n m``, then one line per vertex
+    listing its (1-based) neighbours."""
+    f, owned = _open_for_write(path_or_file)
+    try:
+        f.write(f"{g.n} {g.m}\n")
+        csr = g.csr()
+        for v in range(g.n):
+            nbrs = csr.neighbors(v) + 1
+            f.write(" ".join(map(str, nbrs.tolist())) + "\n")
+    finally:
+        if owned:
+            f.close()
+
+
+def read_metis(path_or_file) -> Graph:
+    """Read METIS graph format (unweighted)."""
+    f, owned = _open_for_read(path_or_file)
+    try:
+        header = None
+        rows: list[list[int]] = []
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("%"):  # comment
+                continue
+            if header is None:
+                if not line:
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    raise ValueError("METIS header must be 'n m [fmt]'")
+                header = (int(parts[0]), int(parts[1]))
+                continue
+            # after the header every line is one vertex's adjacency list;
+            # blank lines are isolated vertices
+            rows.append([int(x) - 1 for x in line.split()])
+        if header is None:
+            raise ValueError("empty METIS file")
+        n, m = header
+        if len(rows) != n:
+            raise ValueError(f"expected {n} adjacency lines, found {len(rows)}")
+        us: list[int] = []
+        vs: list[int] = []
+        for v, nbrs in enumerate(rows):
+            for w in nbrs:
+                if w > v:
+                    us.append(v)
+                    vs.append(w)
+        g = Graph(n, us, vs)
+        if g.m != m:
+            raise ValueError(f"METIS header claims {m} edges, found {g.m}")
+        return g
+    finally:
+        if owned:
+            f.close()

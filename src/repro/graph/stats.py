@@ -1,0 +1,108 @@
+"""Structural statistics for graph instances.
+
+Used by the benchmark harness to characterize workloads (the paper's §4
+performance argument revolves around graph *diameter* — "as long as the
+number of vertices in the BFS frontier is greater than the number of
+processors employed, the algorithm will perform well" — and Palmer's
+theorem that almost all random graphs have diameter two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..primitives.bfs import bfs, bfs_forest
+from .edgelist import Graph
+
+__all__ = ["GraphStats", "graph_stats", "estimate_diameter", "frontier_profile"]
+
+
+@dataclass
+class GraphStats:
+    """Summary of one instance (see :func:`graph_stats`)."""
+
+    n: int
+    m: int
+    avg_degree: float
+    min_degree: int
+    max_degree: int
+    degree_p99: int
+    num_components: int
+    largest_component: int
+    diameter_lower_bound: int
+    isolated_vertices: int
+
+    def as_dict(self) -> dict:
+        return self.__dict__.copy()
+
+
+def estimate_diameter(g: Graph, sweeps: int = 2, seed: int = 0) -> int:
+    """Lower bound on the diameter by iterated double-sweep BFS.
+
+    Start anywhere, BFS to the farthest vertex, repeat from there:
+    each sweep's eccentricity is a valid lower bound, and on most graph
+    families two sweeps are exact or nearly so.  Operates on the largest
+    connected component (unreached vertices are ignored).
+    """
+    if g.n == 0 or g.m == 0:
+        return 0
+    rng = np.random.default_rng(seed)
+    start = int(g.u[rng.integers(0, g.m)])
+    csr = g.csr()
+    best = 0
+    for _ in range(max(1, sweeps)):
+        res = bfs(g, root=start, csr=csr)
+        ecc = int(res.level.max(initial=0))
+        reached = res.level >= 0
+        far = np.flatnonzero(reached & (res.level == ecc))
+        best = max(best, ecc)
+        start = int(far[0])
+    return best
+
+
+def frontier_profile(g: Graph, root: int = 0) -> np.ndarray:
+    """Vertices per BFS level from ``root`` (the §4 frontier-size argument:
+    parallel BFS performs well while frontiers exceed p)."""
+    res = bfs(g, root=root)
+    reached = res.level[res.level >= 0]
+    if reached.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(reached).astype(np.int64)
+
+
+def graph_stats(g: Graph) -> GraphStats:
+    """Compute the full :class:`GraphStats` summary for an instance."""
+    deg = g.degrees()
+    if g.n:
+        forest = bfs_forest(g)
+        # component sizes: count vertices per BFS tree root
+        root_of = _root_of(forest.parent)
+        sizes = np.bincount(np.searchsorted(np.sort(forest.roots), root_of))
+        num_components = forest.roots.size
+        largest = int(sizes.max()) if sizes.size else 0
+    else:
+        num_components = 0
+        largest = 0
+    return GraphStats(
+        n=g.n,
+        m=g.m,
+        avg_degree=g.density,
+        min_degree=int(deg.min()) if g.n else 0,
+        max_degree=int(deg.max()) if g.n else 0,
+        degree_p99=int(np.percentile(deg, 99)) if g.n else 0,
+        num_components=num_components,
+        largest_component=largest,
+        diameter_lower_bound=estimate_diameter(g),
+        isolated_vertices=int((deg == 0).sum()) if g.n else 0,
+    )
+
+
+def _root_of(parent: np.ndarray) -> np.ndarray:
+    hop = parent.copy()
+    while True:
+        nxt = hop[hop]
+        if (nxt == hop).all():
+            return hop
+        hop = nxt

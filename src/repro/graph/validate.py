@@ -1,0 +1,178 @@
+"""Structural validation helpers for graphs and trees.
+
+These checks back the test suite's invariants and the algorithms'
+preconditions (the BCC algorithms assume connected input; TV-filter assumes
+a BFS tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .edgelist import Graph
+
+__all__ = [
+    "is_simple",
+    "is_connected",
+    "validate_parent_array",
+    "is_spanning_tree",
+    "is_bfs_tree",
+    "tree_depths",
+]
+
+
+def is_simple(g: Graph) -> bool:
+    """True iff the edge list has no self-loops and no duplicates.
+
+    Always True for normalized :class:`Graph` instances; exists to verify
+    externally constructed graphs (``normalize=False``).
+    """
+    if (g.u == g.v).any():
+        return False
+    if g.m == 0:
+        return True
+    key = np.minimum(g.u, g.v) * np.int64(g.n) + np.maximum(g.u, g.v)
+    return np.unique(key).size == g.m
+
+
+def is_connected(g: Graph) -> bool:
+    """Connectivity via a (sequential) union–find sweep."""
+    if g.n <= 1:
+        return True
+    parent = np.arange(g.n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    comps = g.n
+    for a, b in zip(g.u.tolist(), g.v.tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+            comps -= 1
+            if comps == 1:
+                return True
+    return comps == 1
+
+
+def validate_parent_array(parent: np.ndarray, n: int) -> np.ndarray:
+    """Check a rooted-forest parent array; returns the root vertices.
+
+    Conventions: ``parent[root] == root``; every vertex reaches a root by
+    following parents (no cycles other than root self-loops).
+    """
+    parent = np.asarray(parent)
+    if parent.shape != (n,):
+        raise ValueError(f"parent must have shape ({n},), got {parent.shape}")
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if (parent < 0).any() or (parent >= n).any():
+        raise ValueError("parent entries out of range")
+    roots = np.flatnonzero(parent == np.arange(n))
+    # pointer-jump to detect cycles: after ceil(log2 n)+1 doublings every
+    # vertex must have landed on a genuine root (a parent self-loop); any
+    # cycle leaves its members pointing at non-roots forever
+    hop = parent.copy()
+    for _ in range(int(np.ceil(np.log2(max(n, 2)))) + 1):
+        hop = hop[hop]
+    if not (parent[hop] == hop).all():
+        raise ValueError("parent array contains a cycle not rooted at a self-loop")
+    return roots.astype(np.int64)
+
+
+def is_spanning_tree(g: Graph, parent: np.ndarray, root: int | None = None) -> bool:
+    """True iff ``parent`` encodes a spanning tree/forest of ``g``.
+
+    Every non-root tree edge ``(v, parent[v])`` must be an edge of ``g``,
+    and the number of roots must equal the number of connected components.
+    """
+    try:
+        roots = validate_parent_array(parent, g.n)
+    except ValueError:
+        return False
+    if root is not None and root not in set(roots.tolist()):
+        return False
+    nonroots = np.flatnonzero(parent != np.arange(g.n))
+    if nonroots.size:
+        key_set = set(
+            (np.minimum(g.u, g.v) * np.int64(g.n) + np.maximum(g.u, g.v)).tolist()
+        )
+        a = nonroots
+        b = parent[nonroots]
+        keys = np.minimum(a, b) * np.int64(g.n) + np.maximum(a, b)
+        if not all(k in key_set for k in keys.tolist()):
+            return False
+    # component counting with union-find over g must match number of roots
+    num_components = _count_components(g)
+    return roots.size == num_components
+
+
+def _count_components(g: Graph) -> int:
+    parent = np.arange(g.n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    comps = g.n
+    for a, b in zip(g.u.tolist(), g.v.tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+            comps -= 1
+    return comps
+
+
+def tree_depths(parent: np.ndarray) -> np.ndarray:
+    """Depth of every vertex in a rooted forest (roots have depth 0).
+
+    Pointer doubling: after k rounds ``hop[v]`` is v's 2^k-th ancestor
+    (clamped at its root) and ``dist[v]`` the number of edges traversed.
+    O(n log d) work.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    dist = (parent != idx).astype(np.int64)
+    hop = parent.copy()
+    while True:
+        inc = dist[hop]
+        if not inc.any():
+            return dist
+        dist += inc
+        hop = hop[hop]
+
+
+def is_bfs_tree(g: Graph, parent: np.ndarray, levels: np.ndarray) -> bool:
+    """True iff the rooted forest is a valid BFS forest of ``g``.
+
+    BFS property (Lemma 1's precondition): every graph edge joins vertices
+    whose levels differ by at most one, and ``levels[v] == levels[parent[v]]
+    + 1`` for non-roots.
+    """
+    try:
+        roots = validate_parent_array(parent, g.n)
+    except ValueError:
+        return False
+    levels = np.asarray(levels)
+    if levels.shape != (g.n,):
+        return False
+    if g.n and (levels[roots] != 0).any():
+        return False
+    nonroot = np.flatnonzero(parent != np.arange(g.n))
+    if nonroot.size and not (levels[nonroot] == levels[parent[nonroot]] + 1).all():
+        return False
+    if g.m and not (np.abs(levels[g.u] - levels[g.v]) <= 1).all():
+        return False
+    return True

@@ -1,0 +1,48 @@
+"""Stream compaction (pack) via prefix sums.
+
+Alg. 1 of the paper stages candidate auxiliary-graph edges into a 3m-slot
+temporary array and then "compacts L' into G' using prefix sums"; this module
+is that step as a reusable primitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smp import Machine, NullMachine, Ops
+from .prefix_sum import prefix_sum
+
+__all__ = ["pack", "pack_indices"]
+
+
+def pack_indices(mask: np.ndarray, machine: Machine | None = None) -> np.ndarray:
+    """Indices of True entries, in order, computed the parallel way.
+
+    A prefix sum over the 0/1 mask gives every surviving element its output
+    slot; a scatter then writes the indices.  Work O(n), all contiguous.
+    """
+    machine = machine or NullMachine()
+    mask = np.asarray(mask, dtype=bool)
+    n = mask.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    slots = prefix_sum(mask.astype(np.int64), machine=machine)
+    total = int(slots[-1])
+    out = np.empty(total, dtype=np.int64)
+    idx = np.flatnonzero(mask)
+    out[slots[idx] - 1] = idx
+    machine.parallel(n, Ops(contig=2))
+    return out
+
+
+def pack(values: np.ndarray, mask: np.ndarray, machine: Machine | None = None) -> np.ndarray:
+    """The True-masked elements of ``values``, order preserved.
+
+    ``values`` may be 1-D or 2-D (rows selected); the mask is over the first
+    axis.
+    """
+    machine = machine or NullMachine()
+    values = np.asarray(values)
+    idx = pack_indices(mask, machine=machine)
+    machine.parallel(idx.size, Ops(contig=1, random=1))
+    return values[idx]

@@ -1,0 +1,298 @@
+"""Euler-tour construction and tour-based tree numbering (TV-SMP path).
+
+The classical Euler-tour technique [20] represents a tree as a circuit of
+its 2(n-1) arcs.  The literature assumes a *circular adjacency list* with
+cross pointers between the two anti-parallel arcs of each edge; TV-SMP must
+build that structure on the fly from the spanning tree's edge set
+(paper §3.1):
+
+1. pair anti-parallel mates by sorting all arcs with min(u,v) as primary
+   and max(u,v) as secondary key (Helman–JáJá sample sort) — mates end up
+   adjacent;
+2. group arcs into adjacency lists (second sort by (tail, head)) and link
+   the tour: ``succ[(u,v)] = next arc after (v,u) in v's rotation``;
+3. break the circuit at the root and **list-rank** the tour (Wyllie's
+   pointer jumping — the expensive, cache-hostile step that motivates
+   TV-opt);
+4. derive rooting, preorder, subtree size and depth from tour positions
+   with (segmented) prefix scans.
+
+Forests are supported: each component contributes its own circuit, broken
+at that component's root; numberings are globally consistent (components
+occupy disjoint preorder ranges, ordered by root id).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smp import Machine, NullMachine, Ops
+from .prefix_sum import segmented_prefix_scan
+from .sorting import sample_argsort
+
+__all__ = ["TreeNumbering", "euler_tour_numbering"]
+
+
+class TreeNumbering:
+    """Rooted-forest numbering shared by all TV variants.
+
+    Attributes
+    ----------
+    parent:
+        ``int64[n]``, ``parent[root] == root``.
+    parent_edge:
+        ``int64[n]`` edge id (into the caller's tree-edge list) of
+        (v, parent[v]); -1 for roots.
+    pre:
+        ``int64[n]`` global preorder number (disjoint ranges per component,
+        components ordered by root id).
+    size:
+        ``int64[n]`` subtree sizes (roots carry their component size).
+    depth:
+        ``int64[n]`` depth within the component (roots at 0).
+    roots:
+        Sorted array of root vertices (one per component).
+    """
+
+    __slots__ = ("parent", "parent_edge", "pre", "size", "depth", "roots")
+
+    def __init__(self, parent, parent_edge, pre, size, depth, roots):
+        self.parent = parent
+        self.parent_edge = parent_edge
+        self.pre = pre
+        self.size = size
+        self.depth = depth
+        self.roots = roots
+
+    def is_ancestor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized test: is a[i] an ancestor of (or equal to) b[i]?"""
+        pa, pb = self.pre[a], self.pre[b]
+        return (pa <= pb) & (pb < pa + self.size[a])
+
+    def unrelated(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized test: no ancestral relationship between a[i], b[i]."""
+        return ~self.is_ancestor(a, b) & ~self.is_ancestor(b, a)
+
+
+def euler_tour_numbering(
+    n: int,
+    tu: np.ndarray,
+    tv: np.ndarray,
+    machine: Machine | None = None,
+    *,
+    roots: np.ndarray | None = None,
+    list_ranking: str = "wyllie",
+    regions: tuple[str, str] = ("Euler-tour", "Root-tree"),
+) -> TreeNumbering:
+    """Root a forest given by tree edges via the Euler-tour technique.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    tu, tv:
+        Endpoints of the forest's edges (must be acyclic; one tree per
+        component).
+    roots:
+        Optional preferred roots.  Any component whose root is not listed is
+        rooted at its smallest incident vertex; isolated vertices are their
+        own roots.
+    list_ranking:
+        ``"wyllie"`` (pointer jumping) or ``"helman-jaja"`` (splitter
+        walking; used only for single-component tours, otherwise falls back
+        to Wyllie).
+    regions:
+        Machine-region names for (tour construction, ranking + numbering) —
+        the paper's Fig. 4 step names.
+    """
+    machine = machine or NullMachine()
+    tu = np.asarray(tu, dtype=np.int64)
+    tv = np.asarray(tv, dtype=np.int64)
+    k = tu.size
+    parent = np.arange(n, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    pre = np.zeros(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return TreeNumbering(parent, parent_edge, pre, size, depth, np.empty(0, np.int64))
+    if k == 0:
+        # forest of isolated vertices
+        pre[:] = np.arange(n)
+        return TreeNumbering(parent, parent_edge, pre, size, depth, np.arange(n, dtype=np.int64))
+
+    A = 2 * k
+    tails = np.concatenate([tu, tv])
+    heads = np.concatenate([tv, tu])
+    eids = np.concatenate([np.arange(k, dtype=np.int64)] * 2)
+
+    with machine.region(regions[0]):
+        machine.spawn()
+        machine.parallel(A, Ops(contig=2))
+
+        # --- pair anti-parallel mates (sample sort on canonical key) ---
+        lo = np.minimum(tails, heads)
+        hi = np.maximum(tails, heads)
+        pair_key = lo * np.int64(n) + hi
+        order = sample_argsort(pair_key, machine=machine)
+        twin = np.empty(A, dtype=np.int64)
+        twin[order[0::2]] = order[1::2]
+        twin[order[1::2]] = order[0::2]
+        machine.parallel(A, Ops(contig=2, random=1))
+        if not (pair_key[order[0::2]] == pair_key[order[1::2]]).all():
+            raise ValueError("tree edge list contains duplicates or unpaired arcs")
+
+        # --- circular adjacency lists and tour successors ---
+        adj_key = tails * np.int64(n) + heads
+        S = sample_argsort(adj_key, machine=machine)
+        slot = np.empty(A, dtype=np.int64)
+        slot[S] = np.arange(A, dtype=np.int64)
+        t_sorted = tails[S]
+        new_group = np.empty(A, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = t_sorted[1:] != t_sorted[:-1]
+        group_start = np.flatnonzero(new_group)
+        group_end = np.append(group_start[1:], A)
+        # next slot within the adjacency rotation (cyclic)
+        next_slot = np.arange(1, A + 1, dtype=np.int64)
+        next_slot[group_end - 1] = group_start
+        next_arc = S[next_slot[slot]]
+        succ = next_arc[twin]
+        machine.parallel(A, Ops(contig=3, random=3, alu=1))
+
+        # --- choose roots and break each component's circuit ---
+        group_tail_vertex = t_sorted[group_start]  # vertices with degree >= 1
+        deg = np.bincount(tails, minlength=n)
+        # component labels of vertices (tiny SV over the forest arcs);
+        # needed to break each component's circuit exactly once
+        comp_label = _component_labels_from_arcs(n, tails, heads)
+        tree_comp_labels = np.unique(comp_label[tails])  # components with arcs
+        # default root of a tree component: its minimum vertex
+        comp_min = np.full(n, n, dtype=np.int64)
+        with_arcs = np.flatnonzero(deg > 0)
+        np.minimum.at(comp_min, comp_label[with_arcs], with_arcs)
+        chosen = comp_min  # indexed by component label
+        if roots is not None:
+            req = np.asarray(roots, dtype=np.int64)
+            req = req[deg[req] > 0]
+            chosen[comp_label[req]] = req
+        tree_roots = chosen[tree_comp_labels]
+        machine.parallel(n, Ops(random=2, alu=1))
+
+        # break each circuit just before the root's first adjacency arc
+        grp = np.searchsorted(group_tail_vertex, tree_roots)
+        head_arcs = S[group_start[grp]]
+        break_arcs = twin[S[group_end[grp] - 1]]
+        succ[break_arcs] = break_arcs
+        machine.parallel(tree_roots.size, Ops(random=3))
+
+    with machine.region(regions[1]):
+        # --- list-rank the tour ---
+        if list_ranking == "helman-jaja" and tree_roots.size == 1:
+            from .list_ranking import helman_jaja_rank
+
+            pos = helman_jaja_rank(succ, int(head_arcs[0]), machine)
+            if (pos < 0).any():
+                raise ValueError("tree edges contain a cycle (not a forest)")
+        else:
+            dt, tail_of = _distance_and_tail(succ, machine)
+            # map each list's tail arc -> its head arc
+            head_by_tail = np.full(A, -1, dtype=np.int64)
+            head_by_tail[tail_of[head_arcs]] = head_arcs
+            my_head = head_by_tail[tail_of]
+            if (my_head < 0).any():
+                raise ValueError("tree edges contain a cycle (not a forest)")
+            pos = dt[my_head] - dt
+            machine.parallel(A, Ops(random=3, alu=1))
+
+        # --- orientation, parent, preorder, size, depth ---
+        fwd = pos < pos[twin]
+        child = heads[fwd]
+        parent[child] = tails[fwd]
+        parent_edge[child] = eids[fwd]
+        machine.parallel(A, Ops(random=4, alu=1))
+
+        # global tour layout: tree components ordered by root id, then
+        # isolated vertices
+        root_order = np.argsort(tree_roots)
+        tree_roots = tree_roots[root_order]
+        head_arcs = head_arcs[root_order]
+        ncomp = tree_roots.size
+        comp_order = np.full(n, -1, dtype=np.int64)  # comp_label -> dense idx
+        comp_order[comp_label[tree_roots]] = np.arange(ncomp)
+        comp_of_arc = comp_order[comp_label[tails]]
+        arcs_per_comp = np.zeros(ncomp, dtype=np.int64)
+        np.add.at(arcs_per_comp, comp_of_arc, 1)
+        verts_per_comp = arcs_per_comp // 2 + 1
+        iso = np.flatnonzero(deg == 0)
+        arc_offset = np.concatenate(([0], np.cumsum(arcs_per_comp)))
+        vertex_offset = np.concatenate(([0], np.cumsum(verts_per_comp)))
+        machine.parallel(A + ncomp, Ops(contig=2, alu=1))
+
+        gpos = arc_offset[comp_of_arc] + pos
+        flags = np.zeros(A, dtype=np.int64)
+        flags[gpos] = fwd.astype(np.int64)
+        updown = np.zeros(A, dtype=np.int64)
+        updown[gpos] = np.where(fwd, 1, -1)
+        seg_starts = np.zeros(A, dtype=bool)
+        seg_starts[arc_offset[:-1]] = True
+        machine.parallel(A, Ops(random=2, contig=2))
+
+        pre_scan = segmented_prefix_scan(flags, seg_starts, "sum", machine)
+        depth_scan = segmented_prefix_scan(updown, seg_starts, "sum", machine)
+
+        pre[child] = vertex_offset[comp_of_arc[fwd]] + pre_scan[gpos[fwd]]
+        depth[child] = depth_scan[gpos[fwd]]
+        pre[tree_roots] = vertex_offset[comp_of_arc[head_arcs]]
+        size[child] = (pos[twin[np.flatnonzero(fwd)]] - pos[np.flatnonzero(fwd)] + 1) // 2
+        size[tree_roots] = verts_per_comp[comp_of_arc[head_arcs]]
+        machine.parallel(A, Ops(random=4, alu=2))
+
+        # isolated vertices: preorder after all tree components
+        if iso.size:
+            base = int(vertex_offset[-1])
+            pre[iso] = base + np.arange(iso.size)
+            machine.parallel(iso.size, Ops(contig=2))
+
+    all_root_set = np.union1d(tree_roots, iso)
+    return TreeNumbering(parent, parent_edge, pre, size, depth, all_root_set)
+
+
+def _distance_and_tail(succ: np.ndarray, machine: Machine) -> tuple[np.ndarray, np.ndarray]:
+    """Distance to tail and the tail arc itself, by pointer doubling."""
+    A = succ.size
+    idx = np.arange(A, dtype=np.int64)
+    dist = (succ != idx).astype(np.int64)
+    hop = succ.copy()
+    machine.parallel(A, Ops(contig=2, alu=1))
+    while True:
+        inc = dist[hop]
+        if not inc.any():
+            return dist, hop
+        dist += inc
+        hop = hop[hop]
+        machine.parallel(A, Ops(random=4, alu=1))
+
+
+def _component_labels_from_arcs(n: int, tails: np.ndarray, heads: np.ndarray) -> np.ndarray:
+    """Component labels of vertices of a forest given as arcs (both dirs).
+
+    Uses min-label hook + shortcut (a small SV): cheap (the input is a
+    forest) and needed only to associate circuits with their components.
+    Not charged separately — callers account for it in their own step.
+    """
+    D = np.arange(n, dtype=np.int64)
+    while True:
+        Dt, Dh = D[tails], D[heads]
+        cand = Dh < Dt
+        if not cand.any():
+            break
+        roots = Dt[cand]
+        isroot = D[roots] == roots
+        D[roots[isroot]] = Dh[cand][isroot]
+        while True:
+            Dn = D[D]
+            if (Dn == D).all():
+                break
+            D = Dn
+    return D

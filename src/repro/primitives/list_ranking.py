@@ -1,0 +1,176 @@
+"""Parallel list ranking.
+
+List ranking assigns every node of a linked list its position (rank) from
+the head.  It is the backbone of the classic Euler-tour technique — and, per
+the paper (§3.2), the expensive part: every pointer-jumping round touches
+memory with no spatial locality, "which hinders cache performance".  TV-opt's
+whole point is to *avoid* list ranking in favour of prefix sums.
+
+Two algorithms:
+
+* :func:`wyllie_rank` — Wyllie's pointer jumping: O(n log n) work,
+  O(log n) rounds, every operation a random access.  This is what TV-SMP's
+  tree computations use.
+* :func:`helman_jaja_rank` — the Helman–JáJá SMP algorithm [8, 9]: s random
+  splitters break the list into sublists that are walked sequentially and
+  stitched together with a sequential pass over the (small) splitter chain.
+  O(n) work with high probability.
+
+Lists are encoded as a successor array ``succ`` with the tail pointing to
+itself (``succ[tail] == tail``).  Ranks count hops from the head: the head
+has rank 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smp import Machine, NullMachine, Ops
+
+__all__ = ["wyllie_rank", "helman_jaja_rank", "list_rank", "distance_to_tail"]
+
+
+def distance_to_tail(succ: np.ndarray, machine: Machine | None = None) -> np.ndarray:
+    """Hops from every node to its list's tail (tail = 0), by doubling.
+
+    Works on any collection of disjoint lists simultaneously.  O(n log L)
+    work for maximum list length L; log L pointer-jumping rounds of pure
+    random access.
+    """
+    machine = machine or NullMachine()
+    succ = np.asarray(succ, dtype=np.int64)
+    n = succ.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    dist = (succ != idx).astype(np.int64)
+    hop = succ.copy()
+    machine.spawn()
+    machine.parallel(n, Ops(contig=2, alu=1))  # init
+    while True:
+        inc = dist[hop]
+        if not inc.any():
+            break
+        dist += inc
+        hop = hop[hop]
+        # per round: gather dist[hop], add, gather hop[hop], write — all
+        # irregular accesses (the cache-hostile pattern the paper calls out)
+        machine.parallel(n, Ops(random=4, alu=1))
+    return dist
+
+
+def wyllie_rank(succ: np.ndarray, head: int, machine: Machine | None = None) -> np.ndarray:
+    """Rank from ``head`` for the single list containing ``head``.
+
+    Nodes not on the list get arbitrary values; callers that operate on one
+    list of all n nodes (the Euler tour) use every entry.
+    """
+    machine = machine or NullMachine()
+    dist = distance_to_tail(succ, machine=machine)
+    ranks = dist[head] - dist
+    machine.parallel(dist.size, Ops(contig=2, alu=1))
+    return ranks
+
+
+def helman_jaja_rank(
+    succ: np.ndarray,
+    head: int,
+    machine: Machine | None = None,
+    *,
+    num_sublists: int | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Helman–JáJá list ranking of the list starting at ``head``.
+
+    Splitters (always including the head) divide the list into sublists;
+    each sublist is traversed to compute local offsets (the traversals of
+    all sublists proceed in lockstep, which is how an SMP runs them in
+    parallel); the splitter chain is then ranked sequentially and local
+    offsets are rebased.  Expected O(n) work, ~n/p + s sequential span.
+    """
+    machine = machine or NullMachine()
+    succ = np.asarray(succ, dtype=np.int64)
+    n = succ.size
+    ranks = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return ranks
+    rng = np.random.default_rng(seed)
+    s = num_sublists if num_sublists is not None else max(1, min(n, machine.p * 16))
+    # choose splitters: head plus s-1 random distinct non-head nodes
+    if s > 1 and n > 1:
+        pool = np.delete(np.arange(n, dtype=np.int64), head)
+        extra = rng.choice(pool, size=min(s - 1, n - 1), replace=False)
+        splitters = np.concatenate(([head], extra))
+    else:
+        splitters = np.array([head], dtype=np.int64)
+    s = splitters.size
+    is_splitter = np.zeros(n, dtype=bool)
+    is_splitter[splitters] = True
+    machine.spawn()
+    machine.parallel(s, Ops(contig=2, random=1))
+
+    sublist_of = np.full(n, -1, dtype=np.int64)
+    local = np.zeros(n, dtype=np.int64)
+    sublist_of[splitters] = np.arange(s)
+    next_splitter = np.full(s, -1, dtype=np.int64)  # -1: sublist ends at tail
+    sublist_len = np.ones(s, dtype=np.int64)
+
+    cur = splitters.copy()
+    active = np.arange(s, dtype=np.int64)
+    step = 0
+    rounds = 0
+    while active.size:
+        step += 1
+        rounds += 1
+        nxt = succ[cur[active]]
+        at_tail = nxt == cur[active]
+        hit_split = is_splitter[nxt] & ~at_tail
+        advance = ~at_tail & ~hit_split
+        # record the splitter each finished walker ran into
+        next_splitter[active[hit_split]] = sublist_of[nxt[hit_split]]
+        # claim newly visited nodes
+        move_ids = active[advance]
+        move_nodes = nxt[advance]
+        sublist_of[move_nodes] = move_ids
+        local[move_nodes] = step
+        sublist_len[move_ids] += 1
+        cur[move_ids] = move_nodes
+        active = move_ids
+        machine.parallel(nxt.size, Ops(random=4, alu=2))
+    # sequentially rank the splitter chain from the head's sublist
+    order = []
+    k = int(sublist_of[head])
+    seen = 0
+    while k != -1 and seen <= s:
+        order.append(k)
+        k = int(next_splitter[k])
+        seen += 1
+    if seen > s:  # pragma: no cover - corrupt input
+        raise ValueError("splitter chain contains a cycle; input is not a list")
+    offsets = np.zeros(s, dtype=np.int64)
+    acc = 0
+    for k in order:
+        offsets[k] = acc
+        acc += int(sublist_len[k])
+    machine.sequential(len(order), Ops(contig=2, alu=1))
+    machine.barrier()
+    # rebase
+    on_list = sublist_of >= 0
+    ranks[on_list] = offsets[sublist_of[on_list]] + local[on_list]
+    machine.parallel(n, Ops(contig=2, random=1, alu=1))
+    return ranks
+
+
+def list_rank(
+    succ: np.ndarray,
+    head: int,
+    machine: Machine | None = None,
+    *,
+    algorithm: str = "wyllie",
+) -> np.ndarray:
+    """Rank the list starting at ``head`` with the chosen algorithm."""
+    if algorithm == "wyllie":
+        return wyllie_rank(succ, head, machine=machine)
+    if algorithm == "helman-jaja":
+        return helman_jaja_rank(succ, head, machine=machine)
+    raise ValueError(f"unknown list-ranking algorithm {algorithm!r}")

@@ -1,0 +1,132 @@
+"""Parallel sample sort (Helman–JáJá).
+
+TV-SMP builds the circular adjacency lists for the Euler tour by sorting all
+tree arcs "with min(u, v) as the primary key and max(u, v) as the secondary
+key" so that anti-parallel mates land next to each other (paper §3.1), using
+"the efficient parallel sample sorting routine designed by Helman and JáJá".
+
+The implementation executes the real phases:
+
+1. block-local sort of n/p keys per processor;
+2. regular sampling of each sorted block; sort of the p*oversample samples
+   and pivot selection (one processor);
+3. partition of every block by the p-1 pivots (binary searches);
+4. bucket exchange (irregular traffic) and per-bucket p-way merge, realized
+   with a final sort of each bucket.
+
+Total work O(n log n); the bucket exchange is the random-access phase.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..smp import Machine, NullMachine, Ops
+
+__all__ = ["sample_sort", "sample_argsort"]
+
+
+def _block_bounds(n: int, p: int) -> np.ndarray:
+    return np.linspace(0, n, min(p, max(n, 1)) + 1).astype(np.int64)
+
+
+def sample_argsort(
+    keys: np.ndarray,
+    machine: Machine | None = None,
+    *,
+    oversample: int = 8,
+) -> np.ndarray:
+    """Permutation that stably sorts ``keys`` (1-D integer/float array).
+
+    Equivalent to ``np.argsort(keys, kind='stable')`` but executed (and
+    charged) as a Helman–JáJá sample sort across ``machine.p`` processors.
+    """
+    machine = machine or NullMachine()
+    keys = np.asarray(keys)
+    n = keys.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    p = max(1, min(machine.p, n))
+    machine.spawn()
+    bounds = _block_bounds(n, p)
+    nblocks = bounds.size - 1
+    logn_p = max(1.0, math.log2(max(n / nblocks, 2.0)))
+
+    # phase 1: local stable sorts
+    local_orders: list[np.ndarray] = []
+    for i in range(nblocks):
+        a, b = int(bounds[i]), int(bounds[i + 1])
+        order = np.argsort(keys[a:b], kind="stable") + a
+        local_orders.append(order)
+    machine.parallel(n, Ops(contig=2, alu=logn_p))
+
+    if nblocks == 1:
+        return local_orders[0]
+
+    # phase 2: regular sampling and pivot selection
+    samples = []
+    for order in local_orders:
+        take = np.linspace(0, order.size - 1, min(oversample, order.size)).astype(np.int64)
+        samples.append(keys[order[take]])
+    samples = np.sort(np.concatenate(samples), kind="stable")
+    pivot_idx = np.linspace(0, samples.size - 1, nblocks + 1).astype(np.int64)[1:-1]
+    pivots = samples[pivot_idx]
+    machine.sequential(samples.size, Ops(contig=1, alu=math.log2(max(samples.size, 2))))
+    machine.barrier()
+
+    # phase 3: partition every sorted block by the pivots
+    splits = []
+    for order in local_orders:
+        block_sorted = keys[order]
+        cuts = np.searchsorted(block_sorted, pivots, side="right")
+        splits.append(np.concatenate(([0], cuts, [order.size])))
+    machine.parallel(
+        nblocks * max(1, pivots.size), Ops(random=1, alu=math.log2(max(n / nblocks, 2)))
+    )
+
+    # phase 4: bucket exchange + per-bucket merge (final local sorts)
+    out = np.empty(n, dtype=np.int64)
+    pos = 0
+    exchange_items = 0
+    merge_items = 0
+    for b in range(nblocks):
+        segs = [
+            local_orders[i][splits[i][b] : splits[i][b + 1]]
+            for i in range(nblocks)
+            if splits[i][b + 1] > splits[i][b]
+        ]
+        if not segs:
+            continue
+        bucket = np.concatenate(segs)
+        exchange_items += bucket.size
+        # stable p-way merge of already-sorted runs, realized by a stable
+        # sort keyed on (key, original index); original index order inside
+        # each run is ascending, and runs were gathered in block order, so
+        # stability on the key reproduces the global stable order.
+        merged = bucket[np.argsort(keys[bucket], kind="stable")]
+        # restore global stability across runs: break key ties by index
+        ties = np.flatnonzero(np.diff(keys[merged]) == 0)
+        if ties.size:
+            merged = bucket[np.lexsort((bucket, keys[bucket]))]
+        merge_items += bucket.size
+        out[pos : pos + bucket.size] = merged
+        pos += bucket.size
+    machine.parallel(exchange_items, Ops(random=2, contig=1))
+    machine.parallel(merge_items, Ops(contig=2, alu=math.log2(max(nblocks, 2))))
+    return out
+
+
+def sample_sort(
+    keys: np.ndarray,
+    machine: Machine | None = None,
+    *,
+    oversample: int = 8,
+) -> np.ndarray:
+    """Sorted copy of ``keys`` via :func:`sample_argsort`."""
+    machine = machine or NullMachine()
+    keys = np.asarray(keys)
+    order = sample_argsort(keys, machine=machine, oversample=oversample)
+    machine.parallel(keys.size, Ops(contig=1, random=1))
+    return keys[order]

@@ -1,0 +1,127 @@
+"""Spanning-tree algorithms.
+
+The paper uses three different spanning-tree strategies:
+
+* **SV spanning tree** (:func:`sv_spanning_tree`) — derived from
+  Shiloach–Vishkin connectivity [18]: the edges that win grafts form a
+  spanning forest.  This is TV's step 1 and what TV-SMP runs.  The result is
+  *unrooted* — TV-SMP must then root it with the Euler-tour technique,
+  which is precisely the overhead TV-opt eliminates.
+* **Traversal spanning tree** (:func:`traversal_spanning_tree`) — the
+  Cong–Bader graph-traversal spanning tree [6, 3] used by TV-opt: a parallel
+  traversal that sets ``parent`` for each vertex directly, merging the
+  Spanning-tree and Root-tree steps.  Realized as the level-synchronous
+  parallel traversal of :mod:`repro.primitives.bfs` (see DESIGN.md §6 for
+  the substitution note).
+* **BFS spanning tree** (:func:`bfs_spanning_tree`) — step 1 of TV-filter,
+  which *requires* the BFS level property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..smp import Machine, NullMachine, Ops
+from .bfs import BFSResult, bfs_forest
+from .connectivity import hirschberg_chandra_sarwate, shiloach_vishkin
+
+__all__ = [
+    "SpanningForest",
+    "sv_spanning_tree",
+    "hcs_spanning_tree",
+    "traversal_spanning_tree",
+    "bfs_spanning_tree",
+    "root_tree_edges",
+]
+
+
+class SpanningForest:
+    """An (unrooted) spanning forest as a set of edge indices.
+
+    Attributes
+    ----------
+    edge_ids:
+        Indices into the owning graph's edge list.
+    num_components:
+        Connected components of the graph (trees in the forest).
+    labels:
+        Per-vertex component labels (representative vertex ids).
+    """
+
+    __slots__ = ("edge_ids", "num_components", "labels")
+
+    def __init__(self, edge_ids, num_components, labels):
+        self.edge_ids = edge_ids
+        self.num_components = num_components
+        self.labels = labels
+
+    def edge_mask(self, m: int) -> np.ndarray:
+        mask = np.zeros(m, dtype=bool)
+        mask[self.edge_ids] = True
+        return mask
+
+
+def sv_spanning_tree(
+    g: Graph, machine: Machine | None = None, *, mode: str = "textbook"
+) -> SpanningForest:
+    """Spanning forest via Shiloach–Vishkin graft recording (TV step 1).
+
+    Defaults to the textbook CRCW schedule (every edge re-scanned every
+    round, one pointer jump per round) because TV-SMP emulates TV directly;
+    pass ``mode="engineered"`` for the pruned SMP variant (the
+    ``abl-spanning`` bench compares all of these against the traversal
+    tree).
+    """
+    res = shiloach_vishkin(g.n, g.u, g.v, machine=machine, mode=mode)
+    return SpanningForest(
+        np.sort(res.forest_edges), res.num_components, res.labels
+    )
+
+
+def traversal_spanning_tree(
+    g: Graph, root: int = 0, machine: Machine | None = None
+) -> BFSResult:
+    """Rooted spanning tree by parallel graph traversal (TV-opt step 1+3).
+
+    Returns a rooted forest covering every component (the requested root
+    first) so the Root-tree step of TV is free; this is the paper's
+    merged Spanning-tree/Root-tree optimization.
+    """
+    machine = machine or NullMachine()
+    roots = np.array([root], dtype=np.int64) if g.n else None
+    return bfs_forest(g, roots=roots, machine=machine, cover_all=True)
+
+
+def bfs_spanning_tree(
+    g: Graph, root: int = 0, machine: Machine | None = None
+) -> BFSResult:
+    """BFS spanning forest (TV-filter step 1; Lemma 1 needs BFS levels)."""
+    return traversal_spanning_tree(g, root=root, machine=machine)
+
+
+def root_tree_edges(
+    n: int,
+    tu: np.ndarray,
+    tv: np.ndarray,
+    root: int = 0,
+    machine: Machine | None = None,
+) -> BFSResult:
+    """Root an *edge-set* forest: BFS restricted to the given tree edges.
+
+    Used to orient the SV spanning forest in tests and by callers that need
+    parents without running the full Euler-tour rooting.
+    """
+    tree = Graph(n, np.asarray(tu), np.asarray(tv), normalize=True)
+    return traversal_spanning_tree(tree, root=root, machine=machine)
+
+
+def hcs_spanning_tree(g: Graph, machine: Machine | None = None) -> SpanningForest:
+    """Spanning forest via Hirschberg–Chandra–Sarwate min-hooking.
+
+    The paper's §3.2 names HCS alongside SV as a graft-and-shortcut
+    algorithm whose grafts define the parent relation; provided for the
+    ``abl-spanning`` comparison.
+    """
+    res = hirschberg_chandra_sarwate(g.n, g.u, g.v, machine=machine)
+    return SpanningForest(np.sort(res.forest_edges), res.num_components, res.labels)

@@ -1,0 +1,166 @@
+"""Parallel tree contraction (rake & compress).
+
+The paper's toolbox includes "tree computations" as a fundamental
+primitive and cites Bader–Sreshta–Weisse-Bernstein [2] — a fast SMP
+implementation of *tree contraction* for expression evaluation.  This
+module implements the Miller–Reif rake-and-compress scheme for the tree
+computation the BCC pipeline actually needs: bottom-up aggregation of an
+associative, commutative operation over every subtree (Low-high's
+``min``/``max``).
+
+Each round performs, in parallel:
+
+* **rake** — every live leaf folds its accumulated subtree value (plus the
+  values carried on its uplink) into its parent and disappears;
+* **compress** — every *chain* vertex (exactly one live child, not a
+  root) whose parent is not itself being bypassed is short-circuited: its
+  child re-parents to the grandparent, and the bypassed vertex's
+  contribution moves onto the child's uplink **carry** (not into the
+  child's own accumulator — the child's subtree must stay uncorrupted).
+
+Both steps are data-parallel scatters/gathers; together they contract any
+forest in O(log n) rounds — unlike the level sweep of
+:mod:`repro.primitives.tree_computations`, whose round count is the tree
+*height* (bad for path-like trees).  A second, symmetrical **expansion**
+phase replays the contraction journal backwards to recover the aggregate
+of *every* vertex, not just the roots.
+
+Invariants (op ⊕, identity e):
+
+* ``acc[v]``   — ⊕ over v's own value and every fully-raked subtree of v;
+* ``carry[v]`` — ⊕ over all bypassed vertices currently living between v
+  and ``par[v]`` (each with their raked subtrees); ``e`` initially;
+* rake of leaf v into t folds ``acc[v] ⊕ carry[v]`` into ``acc[t]``;
+* compress of v (live child c, grandparent g) sets
+  ``carry[c] ← carry[c] ⊕ acc[v] ⊕ carry[v]`` and ``par[c] ← g``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smp import Machine, NullMachine, Ops
+
+__all__ = ["subtree_aggregate_contraction"]
+
+_OPS = {
+    "min": (np.minimum, lambda dt: np.iinfo(dt).max if np.issubdtype(dt, np.integer) else np.inf),
+    "max": (np.maximum, lambda dt: np.iinfo(dt).min if np.issubdtype(dt, np.integer) else -np.inf),
+    "sum": (np.add, lambda dt: 0),
+}
+
+
+def subtree_aggregate_contraction(
+    values: np.ndarray,
+    parent: np.ndarray,
+    op: str = "min",
+    machine: Machine | None = None,
+) -> np.ndarray:
+    """Aggregate ``values`` over every subtree by rake & compress.
+
+    Returns ``out`` with ``out[v] = op over {values[w] : w in subtree(v)}``
+    for a rooted forest ``parent`` (roots are self-loops).  ``op`` is one
+    of ``"min"``, ``"max"``, ``"sum"``.  O(n) work, O(log n) contraction
+    rounds plus the symmetric expansion.
+    """
+    machine = machine or NullMachine()
+    if op not in _OPS:
+        raise ValueError(f"unsupported op {op!r}; choose from {sorted(_OPS)}")
+    ufunc, identity_of = _OPS[op]
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.size
+    values = np.asarray(values)
+    if n == 0:
+        return values.copy()
+    identity = identity_of(values.dtype)
+    machine.spawn()
+
+    idx = np.arange(n, dtype=np.int64)
+    is_root = parent == idx
+    acc = values.copy()
+    carry = np.full(n, identity, dtype=values.dtype)
+    par = parent.copy()
+    nchild = np.bincount(par[~is_root], minlength=n).astype(np.int64)
+    live = np.ones(n, dtype=bool)
+    machine.parallel(n, Ops(contig=4, random=1, alu=1))
+
+    # contraction journal, replayed backwards by the expansion phase:
+    #   ("rake", leaves, _, _)
+    #   ("compress", vs, children, old_carry_of_children)
+    journal: list[tuple[str, np.ndarray, np.ndarray, np.ndarray]] = []
+    live_count = n
+    root_count = int(is_root.sum())
+
+    while live_count > root_count:
+        # ---- rake ------------------------------------------------------
+        leaves = np.flatnonzero(live & (nchild == 0) & ~is_root)
+        if leaves.size:
+            targets = par[leaves]
+            ufunc.at(acc, targets, ufunc(acc[leaves], carry[leaves]))
+            np.add.at(nchild, targets, -1)
+            live[leaves] = False
+            live_count -= leaves.size
+            journal.append(("rake", leaves, leaves, leaves))
+            machine.parallel(leaves.size, Ops(random=5, alu=2))
+        # ---- compress ---------------------------------------------------
+        chain = np.flatnonzero(live & (nchild == 1) & ~is_root)
+        compressed = 0
+        if chain.size:
+            # independent set by hashed coin flips (Miller–Reif style):
+            # bypass v only when v's coin is heads and its parent's is
+            # tails, so no two adjacent chain vertices are bypassed in the
+            # same round; a salted multiplicative hash makes an expected
+            # constant fraction of every chain eligible each round
+            # (deterministic — same input, same schedule)
+            salt = np.int64(live_count * 2 + 1)
+            coins = (((idx ^ salt) * np.int64(2654435761)) >> np.int64(13)) & np.int64(1)
+            in_chain = np.zeros(n, dtype=bool)
+            in_chain[chain] = True
+            p_chain = par[chain]
+            eligible = (coins[chain] == 1) & (
+                ~in_chain[p_chain] | (coins[p_chain] == 0)
+            )
+            sel = chain[eligible]
+            if sel.size == 0 and not leaves.size:
+                # fall back to the parent-not-in-chain rule so progress is
+                # guaranteed even if the coins are unlucky
+                sel = chain[~in_chain[p_chain]]
+            if sel.size:
+                child = _single_live_child(sel, par, live, is_root, n)
+                old_carry = carry[child].copy()
+                journal.append(("compress", sel, child, old_carry))
+                carry[child] = ufunc(ufunc(old_carry, acc[sel]), carry[sel])
+                par[child] = par[sel]
+                live[sel] = False
+                live_count -= sel.size
+                compressed = sel.size
+                machine.parallel(sel.size, Ops(random=7, alu=2))
+        if not leaves.size and not compressed:
+            raise ValueError("contraction stalled: parent array is not a forest")
+
+    out = np.empty_like(acc)
+    out[is_root] = acc[is_root]
+    machine.parallel(root_count, Ops(contig=2))
+
+    # ---- expansion: replay the journal backwards ------------------------
+    for kind, vs, other, old_carry in reversed(journal):
+        if kind == "rake":
+            # a raked leaf's subtree was complete in its accumulator
+            out[vs] = acc[vs]
+        else:
+            # subtree(v) = v's raked part ⊕ bypassed-between(c, v) ⊕ subtree(c)
+            out[vs] = ufunc(ufunc(acc[vs], old_carry), out[other])
+        machine.parallel(vs.size, Ops(random=3, alu=2))
+    return out
+
+
+def _single_live_child(
+    sel: np.ndarray, par: np.ndarray, live: np.ndarray, is_root: np.ndarray, n: int
+) -> np.ndarray:
+    """For each selected chain vertex, its unique live child (by scatter)."""
+    slot = np.full(n, -1, dtype=np.int64)
+    src = np.flatnonzero(live & ~is_root)
+    slot[par[src]] = src
+    child = slot[sel]
+    assert (child >= 0).all(), "chain vertex without a live child"
+    return child

@@ -1,0 +1,31 @@
+"""Simulated SMP substrate.
+
+The paper's platform is a Sun E4500 SMP driven by POSIX threads.  This
+package provides the cost-model machine the reproduction charges real,
+measured operation counts to (see DESIGN.md §2 for the substitution
+rationale).
+"""
+
+from .cost_model import FLAT_UNIT_COSTS, SUN_E4500, CostTable, Ops
+from .counters import Counters
+from .machine import Machine, MachineReport, NullMachine
+from .presets import PAPER_PROCESSOR_GRID, e4500, flat_machine, sequential_machine
+from .trace import TraceEvent, TraceMachine, evaluate_trace
+
+__all__ = [
+    "Ops",
+    "CostTable",
+    "SUN_E4500",
+    "FLAT_UNIT_COSTS",
+    "Counters",
+    "Machine",
+    "MachineReport",
+    "NullMachine",
+    "TraceMachine",
+    "TraceEvent",
+    "evaluate_trace",
+    "e4500",
+    "flat_machine",
+    "sequential_machine",
+    "PAPER_PROCESSOR_GRID",
+]

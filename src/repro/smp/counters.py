@@ -1,0 +1,85 @@
+"""Instrumentation counters accumulated by the simulated SMP machine.
+
+A :class:`Counters` instance tracks the abstract work performed (by operation
+class), the parallel structure (rounds, barriers, spans), and simulated time.
+Counters support hierarchical aggregation so the machine can report Fig.4
+style per-step breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counters"]
+
+
+@dataclass
+class Counters:
+    """Accumulated statistics for a machine or a named region."""
+
+    time_ns: float = 0.0
+    work_contig: float = 0.0
+    work_random: float = 0.0
+    work_alu: float = 0.0
+    parallel_rounds: int = 0
+    barriers: int = 0
+    seq_sections: int = 0
+    span_items: float = 0.0  # sum over rounds of ceil(items/p): critical path length
+
+    @property
+    def work_total(self) -> float:
+        return self.work_contig + self.work_random + self.work_alu
+
+    @property
+    def time_s(self) -> float:
+        return self.time_ns * 1e-9
+
+    def add(self, other: "Counters") -> None:
+        """Merge another counter set into this one (for aggregation)."""
+        self.time_ns += other.time_ns
+        self.work_contig += other.work_contig
+        self.work_random += other.work_random
+        self.work_alu += other.work_alu
+        self.parallel_rounds += other.parallel_rounds
+        self.barriers += other.barriers
+        self.seq_sections += other.seq_sections
+        self.span_items += other.span_items
+
+    def snapshot(self) -> "Counters":
+        return Counters(
+            time_ns=self.time_ns,
+            work_contig=self.work_contig,
+            work_random=self.work_random,
+            work_alu=self.work_alu,
+            parallel_rounds=self.parallel_rounds,
+            barriers=self.barriers,
+            seq_sections=self.seq_sections,
+            span_items=self.span_items,
+        )
+
+    def delta_since(self, earlier: "Counters") -> "Counters":
+        """Counters accumulated since ``earlier`` (a snapshot of self)."""
+        return Counters(
+            time_ns=self.time_ns - earlier.time_ns,
+            work_contig=self.work_contig - earlier.work_contig,
+            work_random=self.work_random - earlier.work_random,
+            work_alu=self.work_alu - earlier.work_alu,
+            parallel_rounds=self.parallel_rounds - earlier.parallel_rounds,
+            barriers=self.barriers - earlier.barriers,
+            seq_sections=self.seq_sections - earlier.seq_sections,
+            span_items=self.span_items - earlier.span_items,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "time_ns": self.time_ns,
+            "time_s": self.time_s,
+            "work_contig": self.work_contig,
+            "work_random": self.work_random,
+            "work_alu": self.work_alu,
+            "work_total": self.work_total,
+            "parallel_rounds": self.parallel_rounds,
+            "barriers": self.barriers,
+            "seq_sections": self.seq_sections,
+            "span_items": self.span_items,
+        }

@@ -1,0 +1,225 @@
+"""The simulated SMP machine.
+
+A :class:`Machine` models a ``p``-processor shared-memory machine with a
+:class:`~repro.smp.cost_model.CostTable`.  Algorithms call:
+
+* :meth:`Machine.parallel` — one data-parallel round over ``n`` items with a
+  per-item :class:`~repro.smp.cost_model.Ops` mix, followed by a barrier.
+  Simulated time grows by ``ceil(n/p) * op_cost + barrier(p)``.
+* :meth:`Machine.sequential` — a sequential section executed by one
+  processor: time grows by ``n * op_cost`` with no barrier.
+* :meth:`Machine.spawn` — charge one parallel-region startup (thread wakeup).
+* :meth:`Machine.region` — a named, nestable step used for per-step
+  breakdowns (Fig. 4 of the paper).
+
+A :class:`NullMachine` implements the same interface with zero overhead so
+library code can be written unconditionally instrumented.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterator
+
+from .cost_model import SUN_E4500, CostTable, Ops
+from .counters import Counters
+
+__all__ = ["Machine", "NullMachine", "MachineReport"]
+
+
+class MachineReport:
+    """A read-only view of a machine's accumulated accounting.
+
+    ``regions`` maps region name -> :class:`Counters` for every *top-level*
+    region entered on the machine (nested regions accumulate into their
+    outermost enclosing region as well as their own entry, keyed by their
+    dotted path).
+    """
+
+    def __init__(self, p: int, costs: CostTable, totals: Counters, regions: dict[str, Counters]):
+        self.p = p
+        self.costs = costs
+        self.totals = totals
+        self.regions = regions
+
+    @property
+    def time_s(self) -> float:
+        return self.totals.time_s
+
+    @property
+    def time_ns(self) -> float:
+        return self.totals.time_ns
+
+    def region_times_s(self) -> dict[str, float]:
+        """Simulated seconds per top-level region, in first-entry order."""
+        return {name: c.time_s for name, c in self.regions.items() if "." not in name}
+
+    def as_dict(self) -> dict:
+        return {
+            "p": self.p,
+            "cost_table": self.costs.name,
+            "totals": self.totals.as_dict(),
+            "regions": {k: v.as_dict() for k, v in self.regions.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MachineReport(p={self.p}, time={self.time_s:.6f}s, regions={list(self.regions)})"
+
+
+class Machine:
+    """Simulated ``p``-processor SMP with an explicit cost model."""
+
+    __slots__ = ("p", "costs", "totals", "_regions", "_stack")
+
+    def __init__(self, p: int = 1, costs: CostTable = SUN_E4500):
+        if p < 1:
+            raise ValueError(f"processor count must be >= 1, got {p}")
+        self.p = int(p)
+        self.costs = costs
+        self.totals = Counters()
+        self._regions: dict[str, Counters] = {}
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # charging primitives
+    # ------------------------------------------------------------------ #
+
+    def parallel(self, n_items: int | float, ops: Ops, *, rounds: int = 1) -> None:
+        """Charge ``rounds`` identical data-parallel rounds over ``n_items``.
+
+        Each round distributes ``n_items`` elements over ``p`` processors
+        (block distribution, as the paper's coarse-grained SMP emulation
+        does) and ends with one software barrier.
+        """
+        if n_items <= 0 or rounds <= 0:
+            return
+        per_item = self.costs.op_cost_ns(ops)
+        chunk = math.ceil(n_items / self.p)
+        round_ns = chunk * per_item + self.costs.barrier_ns(self.p)
+        self._charge(
+            time_ns=round_ns * rounds,
+            ops=ops.scaled(n_items * rounds),
+            parallel_rounds=rounds,
+            barriers=rounds,
+            span_items=chunk * rounds,
+        )
+
+    def sequential(self, n_items: int | float, ops: Ops) -> None:
+        """Charge a sequential section of ``n_items`` elements on one CPU."""
+        if n_items <= 0:
+            return
+        per_item = self.costs.op_cost_ns(ops)
+        self._charge(
+            time_ns=n_items * per_item,
+            ops=ops.scaled(n_items),
+            seq_sections=1,
+            span_items=n_items,
+        )
+
+    def spawn(self) -> None:
+        """Charge one parallel-region startup (thread wakeup/distribution)."""
+        if self.p > 1:
+            self._charge(time_ns=self.costs.spawn_ns)
+
+    def barrier(self) -> None:
+        """Charge one extra software barrier (no associated work)."""
+        self._charge(time_ns=self.costs.barrier_ns(self.p), barriers=1)
+
+    def _charge(
+        self,
+        *,
+        time_ns: float = 0.0,
+        ops: Ops | None = None,
+        parallel_rounds: int = 0,
+        barriers: int = 0,
+        seq_sections: int = 0,
+        span_items: float = 0.0,
+    ) -> None:
+        delta = Counters(
+            time_ns=time_ns,
+            work_contig=ops.contig if ops else 0.0,
+            work_random=ops.random if ops else 0.0,
+            work_alu=ops.alu if ops else 0.0,
+            parallel_rounds=parallel_rounds,
+            barriers=barriers,
+            seq_sections=seq_sections,
+            span_items=span_items,
+        )
+        self.totals.add(delta)
+        for path in self._stack:
+            self._regions[path].add(delta)
+
+    # ------------------------------------------------------------------ #
+    # regions
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Attribute all charges inside the block to the named step.
+
+        Regions nest; a nested region is recorded both under its own dotted
+        path (``outer.inner``) and as part of the enclosing region's totals.
+        Re-entering a region name accumulates into the same counters.
+        """
+        path = f"{self._stack[-1]}.{name}" if self._stack else name
+        if path not in self._regions:
+            self._regions[path] = Counters()
+        self._stack.append(path)
+        try:
+            yield
+        finally:
+            popped = self._stack.pop()
+            assert popped == path
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def time_s(self) -> float:
+        return self.totals.time_s
+
+    def report(self) -> MachineReport:
+        return MachineReport(
+            p=self.p,
+            costs=self.costs,
+            totals=self.totals.snapshot(),
+            regions={k: v.snapshot() for k, v in self._regions.items()},
+        )
+
+    def reset(self) -> None:
+        """Clear all accumulated accounting (processor count kept)."""
+        self.totals = Counters()
+        self._regions = {}
+        self._stack = []
+
+    def fork(self) -> "Machine":
+        """A fresh machine with the same configuration and empty counters."""
+        return Machine(p=self.p, costs=self.costs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine(p={self.p}, costs={self.costs.name!r}, time={self.time_s:.6f}s)"
+
+
+class NullMachine(Machine):
+    """A machine that records nothing; used when instrumentation is off."""
+
+    def __init__(self):
+        super().__init__(p=1)
+
+    def parallel(self, n_items, ops, *, rounds: int = 1) -> None:  # noqa: D102
+        return
+
+    def sequential(self, n_items, ops) -> None:  # noqa: D102
+        return
+
+    def spawn(self) -> None:  # noqa: D102
+        return
+
+    def barrier(self) -> None:  # noqa: D102
+        return
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:  # noqa: D102
+        yield

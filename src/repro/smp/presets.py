@@ -1,0 +1,33 @@
+"""Machine presets used by the benchmarks and examples.
+
+:data:`SUN_E4500` (re-exported from :mod:`repro.smp.cost_model`) is the
+paper's platform.  :func:`e4500` builds a machine with ``p`` of its 14
+processors; the paper's experiments use up to 12.
+"""
+
+from __future__ import annotations
+
+from .cost_model import FLAT_UNIT_COSTS, SUN_E4500, CostTable
+from .machine import Machine
+
+__all__ = ["e4500", "flat_machine", "sequential_machine", "PAPER_PROCESSOR_GRID"]
+
+#: Processor counts shown in the paper's Fig. 3 plots.
+PAPER_PROCESSOR_GRID = (1, 2, 4, 6, 8, 10, 12)
+
+
+def e4500(p: int = 12) -> Machine:
+    """A machine modelling ``p`` processors of the paper's Sun E4500."""
+    if not 1 <= p <= 14:
+        raise ValueError(f"the Sun E4500 has 14 processors; got p={p}")
+    return Machine(p=p, costs=SUN_E4500)
+
+
+def sequential_machine(costs: CostTable = SUN_E4500) -> Machine:
+    """A single-processor machine (for the sequential baseline)."""
+    return Machine(p=1, costs=costs)
+
+
+def flat_machine(p: int = 1) -> Machine:
+    """Machine with unit costs and free synchronization (work counting)."""
+    return Machine(p=p, costs=FLAT_UNIT_COSTS)

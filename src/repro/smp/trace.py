@@ -1,0 +1,138 @@
+"""Trace recording and replay: one execution, any processor count.
+
+Fig. 3 needs simulated times for seven processor counts per (instance,
+algorithm) pair.  The algorithms' *outputs* and *work profiles* do not
+depend on p (only the charging does), so a :class:`TraceMachine` records
+every charge event during a single execution and :func:`evaluate_trace`
+re-prices the trace for any p — a ~7× saving for the full grid.
+
+Caveat (documented, tested): a few primitives shape their *work* by
+``machine.p`` — the sample sort's block count, the scan's p-element offset
+pass, Helman–JáJá's sublist count.  Those are lower-order terms (see
+``tests/core/test_tv.py::test_work_conservation_across_p``), so replaying
+a trace recorded at p=12 for p=1 agrees with a direct p=1 run to within a
+few percent; record at the p you care most about, or rerun directly when
+exactness matters (the bench harness defaults to direct reruns and
+exposes ``replay=True`` for quick sweeps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .cost_model import CostTable, Ops
+from .counters import Counters
+from .machine import Machine, MachineReport
+
+__all__ = ["TraceEvent", "TraceMachine", "evaluate_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded charge: kind in {'parallel', 'sequential', 'spawn',
+    'barrier'}; ``path`` is the dotted region path active at charge time
+    ('' when outside all regions)."""
+
+    kind: str
+    path: str
+    n_items: float = 0.0
+    ops: Ops = Ops()
+    rounds: int = 1
+
+
+class TraceMachine(Machine):
+    """A machine that charges normally *and* records a replayable trace."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self, p: int = 12, costs=None):
+        from .cost_model import SUN_E4500
+
+        super().__init__(p=p, costs=costs or SUN_E4500)
+        self.trace: list[TraceEvent] = []
+
+    def _path(self) -> str:
+        return self._stack[-1] if self._stack else ""
+
+    def parallel(self, n_items, ops, *, rounds: int = 1) -> None:
+        if n_items > 0 and rounds > 0:
+            self.trace.append(
+                TraceEvent("parallel", self._path(), float(n_items), ops, rounds)
+            )
+        super().parallel(n_items, ops, rounds=rounds)
+
+    def sequential(self, n_items, ops) -> None:
+        if n_items > 0:
+            self.trace.append(
+                TraceEvent("sequential", self._path(), float(n_items), ops)
+            )
+        super().sequential(n_items, ops)
+
+    def spawn(self) -> None:
+        self.trace.append(TraceEvent("spawn", self._path()))
+        super().spawn()
+
+    def barrier(self) -> None:
+        self.trace.append(TraceEvent("barrier", self._path()))
+        super().barrier()
+
+
+def _ancestor_paths(path: str) -> list[str]:
+    """'a.b.c' -> ['a', 'a.b', 'a.b.c'] (region names contain no dots)."""
+    if not path:
+        return []
+    parts = path.split(".")
+    return [".".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+def evaluate_trace(
+    trace: list[TraceEvent], p: int, costs: CostTable
+) -> MachineReport:
+    """Re-price a recorded trace for ``p`` processors under ``costs``."""
+    if p < 1:
+        raise ValueError("processor count must be >= 1")
+    totals = Counters()
+    regions: dict[str, Counters] = {}
+
+    def charge(paths, **kw):
+        delta = Counters(**kw)
+        totals.add(delta)
+        for path in paths:
+            regions.setdefault(path, Counters()).add(delta)
+
+    for ev in trace:
+        paths = _ancestor_paths(ev.path)
+        if ev.kind == "parallel":
+            per_item = costs.op_cost_ns(ev.ops)
+            chunk = math.ceil(ev.n_items / p)
+            round_ns = chunk * per_item + costs.barrier_ns(p)
+            charge(
+                paths,
+                time_ns=round_ns * ev.rounds,
+                work_contig=ev.ops.contig * ev.n_items * ev.rounds,
+                work_random=ev.ops.random * ev.n_items * ev.rounds,
+                work_alu=ev.ops.alu * ev.n_items * ev.rounds,
+                parallel_rounds=ev.rounds,
+                barriers=ev.rounds,
+                span_items=chunk * ev.rounds,
+            )
+        elif ev.kind == "sequential":
+            per_item = costs.op_cost_ns(ev.ops)
+            charge(
+                paths,
+                time_ns=ev.n_items * per_item,
+                work_contig=ev.ops.contig * ev.n_items,
+                work_random=ev.ops.random * ev.n_items,
+                work_alu=ev.ops.alu * ev.n_items,
+                seq_sections=1,
+                span_items=ev.n_items,
+            )
+        elif ev.kind == "spawn":
+            if p > 1:
+                charge(paths, time_ns=costs.spawn_ns)
+        elif ev.kind == "barrier":
+            charge(paths, time_ns=costs.barrier_ns(p), barriers=1)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown trace event kind {ev.kind!r}")
+    return MachineReport(p=p, costs=costs, totals=totals, regions=regions)

@@ -1,0 +1,81 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import canonical_edge_labels
+from repro.graph import Graph, generators as gen
+
+
+def nx_edge_labels(g: Graph) -> np.ndarray:
+    """Ground-truth biconnected-component edge labels via networkx."""
+    import networkx as nx
+
+    G = g.to_networkx()
+    lab = np.full(g.m, -1, dtype=np.int64)
+    key = {(int(a), int(b)): i for i, (a, b) in enumerate(g.edges().tolist())}
+    for cid, comp in enumerate(nx.biconnected_component_edges(G)):
+        for a, b in comp:
+            lab[key[(min(a, b), max(a, b))]] = cid
+    assert (lab >= 0).all(), "networkx did not label every edge"
+    return canonical_edge_labels(lab)
+
+
+def nx_articulation_points(g: Graph) -> np.ndarray:
+    import networkx as nx
+
+    return np.array(sorted(nx.articulation_points(g.to_networkx())), dtype=np.int64)
+
+
+def nx_bridges(g: Graph) -> np.ndarray:
+    import networkx as nx
+
+    ids = []
+    key = {(int(a), int(b)): i for i, (a, b) in enumerate(g.edges().tolist())}
+    for a, b in nx.bridges(g.to_networkx()):
+        ids.append(key[(min(a, b), max(a, b))])
+    return np.array(sorted(ids), dtype=np.int64)
+
+
+def graph_corpus() -> list[tuple[str, Graph]]:
+    """A diverse set of graphs exercising every structural case."""
+    corpus = [
+        ("empty", Graph(0, [], [])),
+        ("one-vertex", Graph(1, [], [])),
+        ("one-edge", Graph(2, [0], [1])),
+        ("two-isolated", Graph(2, [], [])),
+        ("triangle", gen.cycle_graph(3)),
+        ("square", gen.cycle_graph(4)),
+        ("path-2", gen.path_graph(3)),
+        ("path-10", gen.path_graph(10)),
+        ("star-8", gen.star_graph(8)),
+        ("k5", gen.complete_graph(5)),
+        ("k2,3", Graph(5, [0, 0, 0, 1, 1, 1], [2, 3, 4, 2, 3, 4])),
+        ("binary-tree", gen.binary_tree(15)),
+        ("grid-4x5", gen.grid_graph(4, 5)),
+        ("torus-3x4", gen.torus_graph(3, 4)),
+        ("cliques-path", gen.cliques_on_a_path(3, 4)[0]),
+        ("cycles-chain", gen.cycles_chain(4, 5)[0]),
+        ("block-graph", gen.block_graph(12, seed=3)[0]),
+        ("gnm-sparse", gen.random_gnm(40, 50, seed=5)),
+        ("gnm-disconnected", gen.random_gnm(60, 40, seed=6)),
+        ("gnm-connected", gen.random_connected_gnm(80, 200, seed=7)),
+        ("gnm-dense", gen.dense_gnm(18, 0.7, seed=8)),
+        ("theta", Graph(6, [0, 1, 2, 0, 4, 5, 0], [1, 2, 3, 4, 5, 3, 3])),
+        ("two-triangles-bridge", Graph(6, [0, 1, 2, 2, 3, 4, 5], [1, 2, 0, 3, 4, 5, 3])),
+    ]
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return graph_corpus()
+
+
+@pytest.fixture(scope="session")
+def connected_corpus():
+    from repro.graph.validate import is_connected
+
+    return [(name, g) for name, g in graph_corpus() if g.n > 0 and is_connected(g)]

@@ -1,0 +1,158 @@
+"""Definition-level validation of Algorithm 1 against a brute-force R''c.
+
+The brute force recomputes the three conditions of paper §2 straight from
+their definitions (ancestry by explicit parent walking, low/high by
+explicit subtree enumeration) and compares counts and the resulting block
+partition with the library's vectorized pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auxgraph import build_auxiliary_graph
+from repro.core.lowhigh import low_high
+from repro.graph import Graph, generators as gen
+from repro.primitives import bfs, numbering_from_parents
+
+
+def setup(g, root=0):
+    res = bfs(g, root=root)
+    numbering = numbering_from_parents(res.parent, res.level, res.parent_edge)
+    tree_mask = res.tree_edge_mask(g.m)
+    return numbering, tree_mask
+
+
+def brute_conditions(g, numbering, tree_mask):
+    """R''c condition sets computed from first principles."""
+    n = g.n
+    parent = numbering.parent
+    pre = numbering.pre
+
+    def ancestors(v):
+        out = {v}
+        while parent[v] != v:
+            v = int(parent[v])
+            out.add(v)
+        return out
+
+    anc = [ancestors(v) for v in range(n)]
+
+    def related(a, b):
+        return a in anc[b] or b in anc[a]
+
+    def subtree(v):
+        return {w for w in range(n) if v in anc[w]}
+
+    # explicit low/high from the definition
+    adj_nontree = [[] for _ in range(n)]
+    for i in np.flatnonzero(~tree_mask):
+        a, b = int(g.u[i]), int(g.v[i])
+        adj_nontree[a].append(b)
+        adj_nontree[b].append(a)
+    low = np.empty(n, dtype=np.int64)
+    high = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        candidates = set()
+        for w in subtree(v):
+            candidates.add(int(pre[w]))
+            for x in adj_nontree[w]:
+                candidates.add(int(pre[x]))
+        low[v] = min(candidates)
+        high[v] = max(candidates)
+
+    cond1, cond2, cond3 = set(), set(), set()
+    for i in np.flatnonzero(~tree_mask):
+        a, b = int(g.u[i]), int(g.v[i])
+        u, v = (a, b) if pre[a] > pre[b] else (b, a)  # pre(v) < pre(u)
+        cond1.add((u, i))
+        if not related(a, b):
+            cond2.add((min(a, b), max(a, b)))
+    for i in np.flatnonzero(tree_mask):
+        a, b = int(g.u[i]), int(g.v[i])
+        c = a if parent[a] == b else b
+        w = int(parent[c])
+        if parent[w] == w:
+            continue  # w is a root
+        inside = subtree(w)
+        # does some nontree edge join a descendant of c to a non-descendant
+        # of w? (the definition of condition 3)
+        escapes = any(
+            x not in inside
+            for y in subtree(c)
+            for x in adj_nontree[y]
+        )
+        if escapes:
+            cond3.add((c, w))
+        # cross-check the low/high formulation used by the implementation
+        formula = low[c] < pre[w] or high[c] >= pre[w] + numbering.size[w]
+        assert formula == escapes, (c, w)
+    return cond1, cond2, cond3, low, high
+
+
+def run_both(g):
+    numbering, tree_mask = setup(g)
+    child_of_edge = np.full(g.m, -1, dtype=np.int64)
+    nonroot = np.flatnonzero(numbering.parent_edge >= 0)
+    child_of_edge[numbering.parent_edge[nonroot]] = nonroot
+    lw, hg = low_high(g.u[~tree_mask], g.v[~tree_mask], numbering)
+    aux = build_auxiliary_graph(
+        g.n, g.u, g.v, np.ones(g.m, bool), tree_mask, child_of_edge,
+        numbering, lw, hg,
+    )
+    b1, b2, b3, blow, bhigh = brute_conditions(g, numbering, tree_mask)
+    return aux, (b1, b2, b3), (blow, bhigh), (lw, hg)
+
+
+class TestConditionsAgainstBruteForce:
+    @pytest.mark.parametrize("maker", [
+        lambda: gen.cycle_graph(8),
+        lambda: gen.complete_graph(6),
+        lambda: gen.grid_graph(3, 4),
+        lambda: gen.cliques_on_a_path(3, 4)[0],
+        lambda: gen.random_connected_gnm(20, 45, seed=1),
+        lambda: gen.random_connected_gnm(25, 40, seed=2),
+        lambda: gen.random_connected_gnm(15, 60, seed=3),
+    ])
+    def test_counts_match(self, maker):
+        g = maker()
+        aux, brute, (blow, bhigh), (lw, hg) = run_both(g)
+        np.testing.assert_array_equal(lw, blow)
+        np.testing.assert_array_equal(hg, bhigh)
+        assert aux.condition_counts == tuple(len(s) for s in brute)
+
+    def test_condition2_pairs_match_exactly(self):
+        g = gen.random_connected_gnm(18, 40, seed=5)
+        aux, (b1, b2, b3), _, _ = run_both(g)
+        n1, n2, _ = aux.condition_counts
+        got2 = {
+            (min(int(a), int(b)), max(int(a), int(b)))
+            for a, b in zip(aux.au[n1 : n1 + n2], aux.av[n1 : n1 + n2])
+        }
+        assert got2 == b2
+
+    def test_condition3_pairs_match_exactly(self):
+        g = gen.random_connected_gnm(18, 40, seed=6)
+        aux, (b1, b2, b3), _, _ = run_both(g)
+        n1, n2, _ = aux.condition_counts
+        got3 = {(int(a), int(b)) for a, b in zip(aux.au[n1 + n2 :], aux.av[n1 + n2 :])}
+        assert got3 == b3
+
+    def test_nontree_aux_vertices_have_degree_one(self):
+        # the structural fact behind aux_cc="pruned"
+        g = gen.random_connected_gnm(40, 120, seed=7)
+        aux, _, _, _ = run_both(g)
+        both = np.concatenate([aux.au, aux.av])
+        nontree_ids = both[both >= g.n]
+        _, counts = np.unique(nontree_ids, return_counts=True)
+        assert (counts == 1).all()
+
+    @given(st.integers(5, 16), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_counts(self, n, data):
+        max_extra = min(n * (n - 1) // 2, 3 * n)
+        m = data.draw(st.integers(n - 1, max_extra))
+        g = gen.random_connected_gnm(n, m, seed=data.draw(st.integers(0, 10**6)))
+        aux, brute, _, _ = run_both(g)
+        assert aux.condition_counts == tuple(len(s) for s in brute)

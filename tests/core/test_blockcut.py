@@ -1,0 +1,144 @@
+"""Unit tests for block-cut trees and biconnectivity augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core import augment_to_biconnected, block_cut_tree, tarjan_bcc
+from repro.graph import Graph, generators as gen
+from tests.conftest import nx_articulation_points
+
+
+def nx_is_forest(g: Graph) -> bool:
+    import networkx as nx
+
+    return nx.is_forest(g.to_networkx()) if g.n else True
+
+
+class TestBlockCutTree:
+    def test_two_triangles(self):
+        g = Graph(5, [0, 1, 0, 2, 3, 2], [1, 2, 2, 3, 4, 4])
+        bct = block_cut_tree(tarjan_bcc(g))
+        assert bct.num_blocks == 2
+        assert bct.cut_vertices.tolist() == [2]
+        # tree: block0 - cut(2) - block1
+        assert bct.tree.n == 3
+        assert bct.tree.m == 2
+        assert nx_is_forest(bct.tree)
+
+    def test_path_graph(self):
+        g = gen.path_graph(5)  # 4 blocks, 3 cuts -> tree with 7 nodes
+        bct = block_cut_tree(tarjan_bcc(g))
+        assert bct.num_blocks == 4
+        assert bct.num_cuts == 3
+        assert bct.tree.n == 7 and bct.tree.m == 6
+        assert nx_is_forest(bct.tree)
+
+    def test_biconnected_graph_single_node(self):
+        bct = block_cut_tree(tarjan_bcc(gen.cycle_graph(6)))
+        assert bct.num_blocks == 1
+        assert bct.num_cuts == 0
+        assert bct.tree.m == 0
+
+    def test_is_forest_on_corpus(self, corpus):
+        import networkx as nx
+
+        for name, g in corpus:
+            bct = block_cut_tree(tarjan_bcc(g))
+            assert nx_is_forest(bct.tree), name
+            if g.m:
+                T = bct.tree.to_networkx()
+                # one tree per connected component that has edges
+                comp_with_edges = sum(
+                    1 for c in nx.connected_components(g.to_networkx())
+                    if g.to_networkx().subgraph(c).number_of_edges() > 0
+                )
+                assert nx.number_connected_components(T) - (
+                    bct.tree.n - len(T)
+                ) <= bct.tree.n
+                assert (
+                    sum(1 for c in nx.connected_components(T) if len(c) >= 1)
+                    == comp_with_edges
+                )
+
+    def test_node_lookup(self):
+        g = gen.path_graph(4)
+        bct = block_cut_tree(tarjan_bcc(g))
+        assert bct.block_node(0) == 0
+        with pytest.raises(IndexError):
+            bct.block_node(99)
+        cut = int(bct.cut_vertices[0])
+        assert bct.cut_node(cut) >= bct.num_blocks
+        with pytest.raises(KeyError):
+            bct.cut_node(0)  # endpoint of the path is never a cut
+
+    def test_leaf_blocks(self):
+        g, k = gen.cliques_on_a_path(4, 3)
+        bct = block_cut_tree(tarjan_bcc(g))
+        # a chain of blocks has exactly 2 leaf blocks
+        assert bct.leaf_blocks().size == 2
+
+    def test_empty_graph(self):
+        bct = block_cut_tree(tarjan_bcc(Graph(3, [], [])))
+        assert bct.num_blocks == 0
+        assert bct.tree.n == 0
+
+
+class TestAugmentation:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: gen.path_graph(8),
+            lambda: gen.star_graph(7),
+            lambda: gen.random_tree(30, seed=1),
+            lambda: gen.cliques_on_a_path(3, 4)[0],
+            lambda: gen.block_graph(10, seed=5)[0],
+            lambda: gen.random_gnm(25, 30, seed=6),  # disconnected
+            lambda: Graph(5, [], []),  # no edges at all
+        ],
+    )
+    def test_result_is_biconnected(self, make):
+        g = make()
+        g2, added = augment_to_biconnected(g)
+        res = tarjan_bcc(g2)
+        assert res.num_components == 1
+        assert res.articulation_points().size == 0
+        assert nx_articulation_points(g2).size == 0
+
+    def test_already_biconnected_adds_nothing(self):
+        g = gen.cycle_graph(8)
+        g2, added = augment_to_biconnected(g)
+        assert added == []
+        assert g2 == g
+
+    def test_original_edges_preserved(self):
+        g = gen.random_tree(20, seed=2)
+        g2, added = augment_to_biconnected(g)
+        for a, b in g.edges().tolist():
+            assert g2.has_edge(a, b)
+        assert g2.m == g.m + len(added)
+
+    def test_added_count_bounded_by_blocks(self):
+        g, k = gen.cliques_on_a_path(5, 4)
+        g2, added = augment_to_biconnected(g)
+        # k blocks in a chain need at most k-1 ear additions
+        assert len(added) <= k
+
+    def test_near_lower_bound_on_chain(self):
+        # for a path, the Eswaran–Tarjan optimum is 1 edge (close the cycle)
+        g = gen.path_graph(10)
+        g2, added = augment_to_biconnected(g)
+        assert len(added) <= 5  # greedy is a heuristic; stays small
+
+    def test_tiny_graphs_rejected(self):
+        with pytest.raises(ValueError):
+            augment_to_biconnected(Graph(2, [0], [1]))
+
+    def test_max_rounds_guard(self):
+        with pytest.raises(RuntimeError):
+            augment_to_biconnected(gen.path_graph(30), max_rounds=1)
+
+    def test_algorithm_parameter(self):
+        g = gen.random_tree(15, seed=3)
+        for algo in ("sequential", "tv-opt"):
+            g2, _ = augment_to_biconnected(g, algorithm=algo)
+            assert tarjan_bcc(g2).articulation_points().size == 0

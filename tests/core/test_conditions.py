@@ -1,0 +1,116 @@
+"""The paper's Fig. 1 worked example, reconstructed exactly.
+
+G1: three root chains r -t1- a1 -t3- a2 / r -t5- c1 -t6- c2 /
+r -t2- b1 -t4- b2 (preorder visits chain A, then C, then B) with nontree
+edges e1=(a1,c1), e2=(c1,b1), e3=(a2,c2), e4=(c2,b2).  The paper reports
+|R''c| = 11 = 4 + 4 + 3 for conditions 1, 2, 3 and an auxiliary graph with
+10 (used) vertices and 11 edges.
+
+G2 drops the non-essential edges e1, e2: |R''c| = 7 = 2 + 2 + 3, auxiliary
+graph with 8 used vertices and 7 edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.auxgraph import build_auxiliary_graph
+from repro.core.lowhigh import low_high
+from repro.primitives.euler_tour import TreeNumbering
+
+# vertex ids: r=0, a1=1, a2=2, c1=3, c2=4, b1=5, b2=6 (preorder = identity)
+PARENT = np.array([0, 0, 1, 0, 3, 0, 5])
+PRE = np.arange(7)
+SIZE = np.array([7, 2, 1, 2, 1, 2, 1])
+DEPTH = np.array([0, 1, 2, 1, 2, 1, 2])
+TREE_EDGES = [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]
+NONTREE_G1 = [(1, 3), (3, 5), (2, 4), (4, 6)]  # e1, e2, e3, e4
+NONTREE_G2 = [(2, 4), (4, 6)]  # e3, e4
+
+
+def build(nontree):
+    edges = TREE_EDGES + nontree
+    eu = np.array([a for a, b in edges], dtype=np.int64)
+    ev = np.array([b for a, b in edges], dtype=np.int64)
+    m = eu.size
+    tree_mask = np.zeros(m, dtype=bool)
+    tree_mask[: len(TREE_EDGES)] = True
+    child_of_edge = np.full(m, -1, dtype=np.int64)
+    parent_edge = np.full(7, -1, dtype=np.int64)
+    for i, (a, b) in enumerate(TREE_EDGES):
+        child = b if PARENT[b] == a else a
+        child_of_edge[i] = child
+        parent_edge[child] = i
+    numbering = TreeNumbering(
+        PARENT.copy(), parent_edge, PRE.copy(), SIZE.copy(), DEPTH.copy(),
+        np.array([0]),
+    )
+    nu = eu[~tree_mask]
+    nv = ev[~tree_mask]
+    low, high = low_high(nu, nv, numbering)
+    aux = build_auxiliary_graph(
+        7, eu, ev, np.ones(m, dtype=bool), tree_mask, child_of_edge,
+        numbering, low, high,
+    )
+    return aux
+
+
+class TestFig1:
+    def test_g1_condition_counts(self):
+        aux = build(NONTREE_G1)
+        assert aux.condition_counts == (4, 4, 3)
+        assert sum(aux.condition_counts) == 11
+
+    def test_g1_auxiliary_graph_size(self):
+        aux = build(NONTREE_G1)
+        # paper: "the auxiliary graph of G1 has 10 vertices and 11 edges"
+        # (counting used vertices; the root slot 0 is never mapped to)
+        assert aux.au.size == 11
+        used = np.unique(np.concatenate([aux.au, aux.av]))
+        assert used.size == 10
+        assert aux.num_vertices == 7 + 4  # n + nontree slots, root unused
+
+    def test_g2_condition_counts(self):
+        aux = build(NONTREE_G2)
+        assert aux.condition_counts == (2, 2, 3)
+        assert sum(aux.condition_counts) == 7
+
+    def test_g2_auxiliary_graph_size(self):
+        aux = build(NONTREE_G2)
+        # paper: "the auxiliary graph for G2 has only 8 vertices and 7 edges"
+        assert aux.au.size == 7
+        used = np.unique(np.concatenate([aux.au, aux.av]))
+        assert used.size == 8
+
+    def test_g1_condition3_pairs(self):
+        # cond3 pairs the consecutive tree edges on each chain:
+        # t1∘t3 = {a1, a2}... as aux vertices: {child(t3)=a2, a1} etc.
+        aux = build(NONTREE_G1)
+        n1, n2, _ = aux.condition_counts
+        c3 = set(
+            (min(int(a), int(b)), max(int(a), int(b)))
+            for a, b in zip(aux.au[n1 + n2 :], aux.av[n1 + n2 :])
+        )
+        assert c3 == {(1, 2), (3, 4), (5, 6)}
+
+    def test_g1_condition1_attaches_deeper_endpoint(self):
+        aux = build(NONTREE_G1)
+        n1 = aux.condition_counts[0]
+        # nontree aux ids are 7..10 in edge-list order e1, e2, e3, e4;
+        # cond1 attaches: e1->c1(3), e2->b1(5), e3->c2(4), e4->b2(6)
+        got = {(int(a), int(b)) for a, b in zip(aux.au[:n1], aux.av[:n1])}
+        # edge list order after Graph-style canonicalization is the order
+        # we provided: tree edges then e1..e4
+        assert got == {(3, 7), (5, 8), (4, 9), (6, 10)}
+
+    def test_both_graphs_single_biconnected_component(self):
+        # sanity: G1 and G2 are biconnected, so all aux edges connect into
+        # one component over the used vertices
+        import networkx as nx
+
+        from repro.graph import Graph
+
+        for nontree in (NONTREE_G1, NONTREE_G2):
+            edges = TREE_EDGES + nontree
+            g = Graph(7, [a for a, b in edges], [b for a, b in edges])
+            comps = list(nx.biconnected_components(g.to_networkx()))
+            assert len(comps) == 1

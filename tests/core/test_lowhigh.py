@@ -1,0 +1,92 @@
+"""Unit tests for the Low-high step."""
+
+import numpy as np
+import pytest
+
+from repro.core.lowhigh import low_high
+from repro.graph import generators as gen
+from repro.primitives import bfs, numbering_from_parents
+
+
+def brute_low_high(n, parent, pre, nontree_u, nontree_v):
+    """Reference low/high by explicit subtree walks."""
+    children = [[] for _ in range(n)]
+    for v in range(n):
+        if parent[v] != v:
+            children[parent[v]].append(v)
+    locallow = pre.astype(np.int64).copy()
+    localhigh = pre.astype(np.int64).copy()
+    for a, b in zip(nontree_u, nontree_v):
+        locallow[a] = min(locallow[a], pre[b])
+        locallow[b] = min(locallow[b], pre[a])
+        localhigh[a] = max(localhigh[a], pre[b])
+        localhigh[b] = max(localhigh[b], pre[a])
+
+    low = locallow.copy()
+    high = localhigh.copy()
+
+    def visit(v):
+        for c in children[v]:
+            visit(c)
+            low[v] = min(low[v], low[c])
+            high[v] = max(high[v], high[c])
+
+    for r in range(n):
+        if parent[r] == r:
+            visit(r)
+    return low, high
+
+
+def setup_graph(n, m, seed):
+    g = gen.random_connected_gnm(n, m, seed=seed)
+    res = bfs(g, root=0)
+    numbering = numbering_from_parents(res.parent, res.level, res.parent_edge)
+    tree_mask = res.tree_edge_mask(g.m)
+    nu, nv = g.u[~tree_mask], g.v[~tree_mask]
+    return g, numbering, nu, nv
+
+
+class TestLowHigh:
+    @pytest.mark.parametrize("method", ["sweep", "rmq", "contraction"])
+    def test_matches_brute_force(self, method):
+        for seed in range(4):
+            g, numbering, nu, nv = setup_graph(50, 130, seed)
+            low, high = low_high(nu, nv, numbering, method=method)
+            ref_low, ref_high = brute_low_high(
+                g.n, numbering.parent, numbering.pre, nu, nv
+            )
+            np.testing.assert_array_equal(low, ref_low)
+            np.testing.assert_array_equal(high, ref_high)
+
+    def test_methods_agree(self):
+        g, numbering, nu, nv = setup_graph(80, 240, 9)
+        a = low_high(nu, nv, numbering, method="sweep")
+        b = low_high(nu, nv, numbering, method="rmq")
+        c = low_high(nu, nv, numbering, method="contraction")
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+        np.testing.assert_array_equal(a[0], c[0])
+        np.testing.assert_array_equal(a[1], c[1])
+
+    def test_tree_low_equals_pre(self):
+        # no nontree edges: low(v) = pre(v), high(v) = pre(v)+size(v)-1
+        g = gen.random_tree(30, seed=3)
+        res = bfs(g, root=0)
+        numbering = numbering_from_parents(res.parent, res.level, res.parent_edge)
+        low, high = low_high(np.array([]), np.array([]), numbering)
+        np.testing.assert_array_equal(low, numbering.pre)
+        np.testing.assert_array_equal(high, numbering.pre + numbering.size - 1)
+
+    def test_cycle_root_low_zero(self):
+        g = gen.cycle_graph(6)
+        res = bfs(g, root=0)
+        numbering = numbering_from_parents(res.parent, res.level, res.parent_edge)
+        tree_mask = res.tree_edge_mask(g.m)
+        low, high = low_high(g.u[~tree_mask], g.v[~tree_mask], numbering)
+        assert (low <= numbering.pre).all()
+        assert low[0] == 0
+
+    def test_unknown_method(self):
+        g, numbering, nu, nv = setup_graph(20, 40, 1)
+        with pytest.raises(ValueError):
+            low_high(nu, nv, numbering, method="magic")

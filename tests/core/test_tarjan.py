@@ -1,0 +1,73 @@
+"""Unit and property tests for the sequential Hopcroft–Tarjan baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tarjan_bcc
+from repro.graph import Graph, generators as gen
+from repro.smp import FLAT_UNIT_COSTS, Machine, sequential_machine
+from tests.conftest import nx_edge_labels
+
+
+class TestTarjan:
+    def test_matches_networkx_on_corpus(self, corpus):
+        for name, g in corpus:
+            res = tarjan_bcc(g)
+            np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g), err_msg=name)
+
+    def test_empty(self):
+        res = tarjan_bcc(Graph(0, [], []))
+        assert res.num_components == 0
+
+    def test_single_edge(self):
+        res = tarjan_bcc(Graph(2, [0], [1]))
+        assert res.num_components == 1
+        assert res.edge_labels.tolist() == [0]
+
+    def test_triangle_single_block(self):
+        res = tarjan_bcc(gen.cycle_graph(3))
+        assert res.num_components == 1
+
+    def test_path_every_edge_own_block(self):
+        res = tarjan_bcc(gen.path_graph(6))
+        assert res.num_components == 5
+        assert np.unique(res.edge_labels).size == 5
+
+    def test_two_blocks_share_cut_vertex(self):
+        # two triangles sharing vertex 2
+        g = Graph(5, [0, 1, 0, 2, 3, 2], [1, 2, 2, 3, 4, 4])
+        res = tarjan_bcc(g)
+        assert res.num_components == 2
+
+    def test_algorithm_name(self):
+        assert tarjan_bcc(gen.cycle_graph(3)).algorithm == "sequential"
+
+    def test_report_attached_when_machine_given(self):
+        m = sequential_machine()
+        res = tarjan_bcc(gen.cycle_graph(4), m)
+        assert res.report is not None
+        assert res.report.time_s > 0
+        assert "DFS" in res.report.regions
+
+    def test_charges_linear_work(self):
+        m = Machine(1, FLAT_UNIT_COSTS)
+        g = gen.random_connected_gnm(200, 600, seed=1)
+        tarjan_bcc(g, m)
+        # O(n + m) with a small constant: work within 60x of (n + m)
+        # (the conversion charge includes a log-factor sort term)
+        assert m.totals.work_total < 60 * (g.n + g.m)
+
+    def test_disconnected(self):
+        g = Graph(6, [0, 1, 3, 4], [1, 2, 4, 5])
+        res = tarjan_bcc(g)
+        np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    @given(st.integers(2, 40), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_random_graphs(self, n, data):
+        m = data.draw(st.integers(0, min(n * (n - 1) // 2, 4 * n)))
+        g = gen.random_gnm(n, m, seed=data.draw(st.integers(0, 10**6)))
+        res = tarjan_bcc(g)
+        np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))

@@ -1,0 +1,141 @@
+"""Unit and property tests for the TV pipeline variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tarjan_bcc, tv_bcc, tv_opt_bcc, tv_smp_bcc
+from repro.graph import Graph, generators as gen
+from repro.smp import FLAT_UNIT_COSTS, Machine, e4500
+from tests.conftest import nx_edge_labels
+
+VARIANTS = ["smp", "opt"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_matches_networkx_on_corpus(self, variant, corpus):
+        for name, g in corpus:
+            res = tv_bcc(g, variant=variant)
+            np.testing.assert_array_equal(
+                res.edge_labels, nx_edge_labels(g), err_msg=f"{name}/{variant}"
+            )
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("aux_cc", ["full", "pruned"])
+    def test_aux_cc_modes_agree(self, variant, aux_cc):
+        for seed in range(3):
+            g = gen.random_gnm(60, 140, seed=seed)
+            res = tv_bcc(g, variant=variant, aux_cc=aux_cc)
+            np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("lowhigh", ["sweep", "rmq", "contraction"])
+    def test_lowhigh_methods_agree(self, variant, lowhigh):
+        g = gen.random_connected_gnm(70, 210, seed=5)
+        res = tv_bcc(g, variant=variant, lowhigh_method=lowhigh)
+        np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    def test_helman_jaja_list_ranking(self):
+        g = gen.random_connected_gnm(50, 120, seed=6)
+        res = tv_bcc(g, variant="smp", list_ranking="helman-jaja")
+        np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    def test_variants_same_partition(self):
+        for seed in range(4):
+            g = gen.random_gnm(50, 110, seed=seed)
+            seq = tarjan_bcc(g)
+            assert tv_smp_bcc(g).same_partition(seq)
+            assert tv_opt_bcc(g).same_partition(seq)
+
+    def test_empty_graph(self):
+        res = tv_bcc(Graph(3, [], []))
+        assert res.num_components == 0
+
+    def test_disconnected(self):
+        g = Graph(8, [0, 1, 4, 5, 5], [1, 2, 5, 6, 7])
+        for variant in VARIANTS:
+            res = tv_bcc(g, variant=variant)
+            np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            tv_bcc(gen.cycle_graph(3), variant="turbo")
+
+    def test_invalid_aux_cc(self):
+        with pytest.raises(ValueError):
+            tv_bcc(gen.cycle_graph(3), aux_cc="bogus")
+
+    def test_algorithm_names(self):
+        g = gen.cycle_graph(4)
+        assert tv_smp_bcc(g).algorithm == "tv-smp"
+        assert tv_opt_bcc(g).algorithm == "tv-opt"
+        assert tv_bcc(g, algorithm_name="custom").algorithm == "custom"
+
+    @given(st.integers(2, 35), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_all_variants(self, n, data):
+        m = data.draw(st.integers(0, min(n * (n - 1) // 2, 4 * n)))
+        g = gen.random_gnm(n, m, seed=data.draw(st.integers(0, 10**6)))
+        ref = nx_edge_labels(g)
+        for variant in VARIANTS:
+            res = tv_bcc(g, variant=variant)
+            np.testing.assert_array_equal(res.edge_labels, ref)
+
+
+class TestInstrumentation:
+    def test_smp_regions_follow_paper_steps(self):
+        g = gen.random_connected_gnm(100, 300, seed=1)
+        m = e4500(4)
+        tv_smp_bcc(g, m)
+        steps = set(m.report().region_times_s())
+        assert steps == {
+            "Spanning-tree",
+            "Euler-tour",
+            "Root-tree",
+            "Low-high",
+            "Label-edge",
+            "Connected-components",
+        }
+
+    def test_opt_merges_root_tree(self):
+        g = gen.random_connected_gnm(100, 300, seed=1)
+        m = e4500(4)
+        tv_opt_bcc(g, m)
+        steps = set(m.report().region_times_s())
+        assert "Root-tree" not in steps
+        assert "Spanning-tree" in steps and "Euler-tour" in steps
+
+    def test_opt_cheaper_than_smp(self):
+        g = gen.random_connected_gnm(300, 1500, seed=2)
+        m1, m2 = e4500(12), e4500(12)
+        tv_smp_bcc(g, m1)
+        tv_opt_bcc(g, m2)
+        assert m2.time_s < m1.time_s
+
+    def test_more_processors_faster(self):
+        g = gen.random_connected_gnm(300, 1200, seed=3)
+        times = []
+        for p in (1, 4, 12):
+            m = e4500(p)
+            tv_opt_bcc(g, m)
+            times.append(m.time_s)
+        assert times[0] > times[1] > times[2]
+
+    def test_results_independent_of_machine(self):
+        g = gen.random_connected_gnm(80, 240, seed=4)
+        a = tv_opt_bcc(g)
+        b = tv_opt_bcc(g, e4500(12))
+        assert a.same_partition(b)
+
+    def test_work_conservation_across_p(self):
+        # total work is (almost) a property of the algorithm, not of p —
+        # only the sample sort's block structure and the scan's p-sized
+        # offset pass vary, both lower-order terms
+        g = gen.random_connected_gnm(100, 300, seed=5)
+        m1 = Machine(1, FLAT_UNIT_COSTS)
+        m12 = Machine(12, FLAT_UNIT_COSTS)
+        tv_opt_bcc(g, m1)
+        tv_opt_bcc(g, m12)
+        assert m1.totals.work_total == pytest.approx(m12.totals.work_total, rel=0.10)

@@ -1,0 +1,82 @@
+"""Unit tests for the CSR adjacency view."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, Graph, expand_ranges
+
+
+class TestExpandRanges:
+    def test_basic(self):
+        out = expand_ranges(np.array([0, 5]), np.array([3, 7]))
+        assert out.tolist() == [0, 1, 2, 5, 6]
+
+    def test_empty_ranges_skipped(self):
+        out = expand_ranges(np.array([2, 4, 4]), np.array([2, 6, 4]))
+        assert out.tolist() == [4, 5]
+
+    def test_all_empty(self):
+        assert expand_ranges(np.array([1]), np.array([1])).size == 0
+        assert expand_ranges(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            expand_ranges(np.array([3]), np.array([1]))
+
+
+class TestCSRGraph:
+    def g(self):
+        #   0 - 1 - 2
+        #    \  |
+        #       3
+        return Graph(4, [0, 1, 1, 0], [1, 2, 3, 3])
+
+    def test_from_edges_structure(self):
+        csr = self.g().csr()
+        assert csr.n == 4
+        assert csr.num_arcs == 8
+        assert csr.indptr.tolist() == [0, 2, 5, 6, 8]
+
+    def test_neighbors_sorted(self):
+        csr = self.g().csr()
+        assert csr.neighbors(0).tolist() == [1, 3]
+        assert csr.neighbors(1).tolist() == [0, 2, 3]
+        assert csr.neighbors(2).tolist() == [1]
+        assert csr.neighbors(3).tolist() == [0, 1]
+
+    def test_degree(self):
+        csr = self.g().csr()
+        assert [csr.degree(v) for v in range(4)] == [2, 3, 1, 2]
+
+    def test_edge_ids_match_edge_list(self):
+        g = self.g()
+        csr = g.csr()
+        for v in range(g.n):
+            for w, e in zip(csr.neighbors(v), csr.incident_edge_ids(v)):
+                a, b = sorted((v, int(w)))
+                assert g.u[e] == a and g.v[e] == b
+
+    def test_gather_frontier(self):
+        csr = self.g().csr()
+        srcs, dsts, eids = csr.gather_frontier(np.array([0, 2]))
+        assert srcs.tolist() == [0, 0, 2]
+        assert dsts.tolist() == [1, 3, 1]
+
+    def test_gather_empty_frontier(self):
+        csr = self.g().csr()
+        srcs, dsts, eids = csr.gather_frontier(np.array([], dtype=np.int64))
+        assert srcs.size == dsts.size == eids.size == 0
+
+    def test_isolated_vertices(self):
+        g = Graph(5, [1], [3])
+        csr = g.csr()
+        assert csr.degree(0) == 0 and csr.degree(4) == 0
+        assert csr.neighbors(1).tolist() == [3]
+
+    def test_empty_graph(self):
+        csr = Graph(3, [], []).csr()
+        assert csr.num_arcs == 0
+        assert csr.indptr.tolist() == [0, 0, 0, 0]
+
+    def test_repr(self):
+        assert "CSRGraph" in repr(self.g().csr())

@@ -1,0 +1,116 @@
+"""Unit tests for graph serialization."""
+
+import io
+
+import pytest
+
+from repro.graph import Graph, generators as gen
+from repro.graph.io import read_dimacs, read_edgelist, write_dimacs, write_edgelist
+
+
+class TestEdgeList:
+    def test_roundtrip_stringio(self):
+        g = gen.random_gnm(30, 60, seed=1)
+        buf = io.StringIO()
+        write_edgelist(g, buf)
+        buf.seek(0)
+        assert read_edgelist(buf) == g
+
+    def test_roundtrip_file(self, tmp_path):
+        g = gen.cycle_graph(9)
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        assert read_edgelist(path) == g
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph(4, [], [])
+        path = tmp_path / "empty.edges"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert back.n == 4 and back.m == 0
+
+    def test_header_checked(self):
+        with pytest.raises(ValueError):
+            read_edgelist(io.StringIO("3\n0 1\n"))
+
+    def test_edge_count_checked(self):
+        with pytest.raises(ValueError):
+            read_edgelist(io.StringIO("3 2\n0 1\n"))
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path):
+        g = gen.random_gnm(20, 40, seed=2)
+        path = tmp_path / "g.dimacs"
+        write_dimacs(g, path, comment="generated\nfor tests")
+        assert read_dimacs(path) == g
+
+    def test_one_based_conversion(self):
+        buf = io.StringIO()
+        write_dimacs(Graph(2, [0], [1]), buf)
+        text = buf.getvalue()
+        assert "p edge 2 1" in text
+        assert "e 1 2" in text
+
+    def test_comments_ignored(self):
+        g = read_dimacs(io.StringIO("c hello\np edge 3 1\ne 1 3\n"))
+        assert g.n == 3 and g.edges().tolist() == [[0, 2]]
+
+    def test_edge_before_problem_line(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("e 1 2\np edge 3 1\n"))
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("c nothing here\n"))
+
+    def test_bad_problem_line(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("p graph 3 1\ne 1 2\n"))
+
+    def test_unknown_line(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("p edge 2 1\nx 1 2\n"))
+
+
+class TestMetis:
+    def test_roundtrip(self, tmp_path):
+        g = gen.random_gnm(25, 60, seed=3)
+        path = tmp_path / "g.metis"
+        from repro.graph.io import read_metis, write_metis
+
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_isolated_vertices(self):
+        from repro.graph.io import read_metis, write_metis
+
+        g = Graph(6, [0, 2], [1, 4])
+        buf = io.StringIO()
+        write_metis(g, buf)
+        buf.seek(0)
+        assert read_metis(buf) == g
+
+    def test_comments_skipped(self):
+        from repro.graph.io import read_metis
+
+        g = read_metis(io.StringIO("% header comment\n3 1\n2\n1\n\n"))
+        assert g.n == 3 and g.edges().tolist() == [[0, 1]]
+
+    def test_row_count_checked(self):
+        from repro.graph.io import read_metis
+
+        with pytest.raises(ValueError):
+            read_metis(io.StringIO("3 1\n2\n1\n"))
+
+    def test_edge_count_checked(self):
+        from repro.graph.io import read_metis
+
+        with pytest.raises(ValueError):
+            read_metis(io.StringIO("2 5\n2\n1\n"))
+
+    def test_empty_file(self):
+        from repro.graph.io import read_metis
+
+        with pytest.raises(ValueError):
+            read_metis(io.StringIO(""))

@@ -1,0 +1,94 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, generators as gen
+from repro.graph.stats import (
+    estimate_diameter,
+    frontier_profile,
+    graph_stats,
+)
+
+
+class TestEstimateDiameter:
+    def test_path_exact(self):
+        assert estimate_diameter(gen.path_graph(30)) == 29
+
+    def test_cycle(self):
+        # double sweep on an even cycle finds the exact diameter n/2
+        assert estimate_diameter(gen.cycle_graph(20)) == 10
+
+    def test_star(self):
+        assert estimate_diameter(gen.star_graph(15)) == 2
+
+    def test_complete(self):
+        assert estimate_diameter(gen.complete_graph(8)) == 1
+
+    def test_lower_bound_property(self):
+        import networkx as nx
+
+        for seed in range(3):
+            g = gen.random_connected_gnm(40, 70, seed=seed)
+            true_d = nx.diameter(g.to_networkx())
+            est = estimate_diameter(g, sweeps=3, seed=seed)
+            assert est <= true_d
+            assert est >= max(1, true_d - 1)  # double sweep is near-exact
+
+    def test_random_graphs_have_tiny_diameter(self):
+        # Palmer's theorem, the paper's §4 argument
+        g = gen.random_connected_gnm(2000, 20 * 2000, seed=1)
+        assert estimate_diameter(g) <= 4
+
+    def test_empty_and_edgeless(self):
+        assert estimate_diameter(Graph(0, [], [])) == 0
+        assert estimate_diameter(Graph(5, [], [])) == 0
+
+
+class TestFrontierProfile:
+    def test_path(self):
+        prof = frontier_profile(gen.path_graph(6), root=0)
+        np.testing.assert_array_equal(prof, np.ones(6))
+
+    def test_star(self):
+        prof = frontier_profile(gen.star_graph(9), root=0)
+        np.testing.assert_array_equal(prof, [1, 8])
+
+    def test_counts_sum_to_component(self):
+        g = gen.random_connected_gnm(200, 600, seed=2)
+        assert frontier_profile(g).sum() == 200
+
+    def test_empty(self):
+        assert frontier_profile(Graph(3, [], [])).sum() == 1  # just the root
+
+
+class TestGraphStats:
+    def test_basic_fields(self):
+        g = gen.random_connected_gnm(100, 400, seed=3)
+        st = graph_stats(g)
+        assert st.n == 100 and st.m == 400
+        assert st.avg_degree == pytest.approx(8.0)
+        assert st.num_components == 1
+        assert st.largest_component == 100
+        assert st.isolated_vertices == 0
+        assert st.min_degree >= 1
+
+    def test_disconnected(self):
+        g = Graph(7, [0, 1, 3], [1, 2, 4])  # comps {0,1,2}, {3,4}, {5}, {6}
+        st = graph_stats(g)
+        assert st.num_components == 4
+        assert st.largest_component == 3
+        assert st.isolated_vertices == 2
+
+    def test_as_dict(self):
+        d = graph_stats(gen.cycle_graph(5)).as_dict()
+        assert d["n"] == 5 and d["m"] == 5
+
+    def test_empty_graph(self):
+        st = graph_stats(Graph(0, [], []))
+        assert st.n == 0 and st.num_components == 0
+
+    def test_skew_visible_in_p99(self):
+        g = gen.rmat_graph(11, edge_factor=8, seed=1)
+        st = graph_stats(g)
+        assert st.max_degree > st.degree_p99 >= 1

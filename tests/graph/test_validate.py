@@ -1,0 +1,142 @@
+"""Unit tests for structural validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, generators as gen
+from repro.graph.validate import (
+    is_bfs_tree,
+    is_connected,
+    is_simple,
+    is_spanning_tree,
+    tree_depths,
+    validate_parent_array,
+)
+
+
+class TestIsSimple:
+    def test_normalized_graph_is_simple(self):
+        assert is_simple(gen.random_gnm(20, 40, seed=1))
+
+    def test_self_loop_detected(self):
+        g = Graph(3, [0, 1], [0, 2], normalize=False)
+        assert not is_simple(g)
+
+    def test_duplicate_detected(self):
+        g = Graph(3, [0, 1], [1, 0], normalize=False)
+        assert not is_simple(g)
+
+    def test_empty(self):
+        assert is_simple(Graph(3, [], []))
+
+
+class TestIsConnected:
+    def test_connected(self):
+        assert is_connected(gen.cycle_graph(5))
+        assert is_connected(gen.path_graph(10))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph(4, [0], [1]))
+
+    def test_trivial(self):
+        assert is_connected(Graph(0, [], []))
+        assert is_connected(Graph(1, [], []))
+
+
+class TestParentArray:
+    def test_valid_forest(self):
+        parent = np.array([0, 0, 1, 0, 4])  # roots 0 and 4
+        roots = validate_parent_array(parent, 5)
+        assert roots.tolist() == [0, 4]
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            validate_parent_array(np.array([1, 0]), 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_parent_array(np.array([0, 5]), 2)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            validate_parent_array(np.array([0, 1]), 3)
+
+    def test_empty(self):
+        assert validate_parent_array(np.array([], dtype=np.int64), 0).size == 0
+
+
+class TestSpanningTree:
+    def test_valid(self):
+        g = gen.cycle_graph(4)
+        parent = np.array([0, 0, 1, 0])
+        assert is_spanning_tree(g, parent)
+        assert is_spanning_tree(g, parent, root=0)
+
+    def test_wrong_root(self):
+        g = gen.cycle_graph(4)
+        assert not is_spanning_tree(g, np.array([0, 0, 1, 0]), root=2)
+
+    def test_non_edge_rejected(self):
+        g = gen.path_graph(4)  # 0-1-2-3
+        parent = np.array([0, 0, 0, 2])  # (2,0) is not an edge
+        assert not is_spanning_tree(g, parent)
+
+    def test_wrong_component_count(self):
+        g = Graph(4, [0, 2], [1, 3])  # two components
+        parent = np.array([0, 0, 2, 2])
+        assert is_spanning_tree(g, parent)
+        # a single root cannot span two components
+        assert not is_spanning_tree(g, np.array([0, 0, 0, 2]))
+
+    def test_cycle_in_parent(self):
+        g = gen.cycle_graph(3)
+        assert not is_spanning_tree(g, np.array([1, 2, 0]))
+
+
+class TestTreeDepths:
+    def test_chain(self):
+        parent = np.array([0, 0, 1, 2, 3])
+        assert tree_depths(parent).tolist() == [0, 1, 2, 3, 4]
+
+    def test_star(self):
+        parent = np.array([0, 0, 0, 0])
+        assert tree_depths(parent).tolist() == [0, 1, 1, 1]
+
+    def test_forest(self):
+        parent = np.array([0, 0, 2, 2, 3])
+        assert tree_depths(parent).tolist() == [0, 1, 0, 1, 2]
+
+    def test_empty(self):
+        assert tree_depths(np.array([], dtype=np.int64)).size == 0
+
+
+class TestBfsTree:
+    def test_valid_bfs(self):
+        g = gen.cycle_graph(5)
+        parent = np.array([0, 0, 1, 4, 0])
+        levels = np.array([0, 1, 2, 2, 1])
+        assert is_bfs_tree(g, parent, levels)
+
+    def test_level_gap_rejected(self):
+        # DFS tree of the 4-cycle: edge (0,3) joins levels 0 and 3
+        g = gen.cycle_graph(4)
+        parent = np.array([0, 0, 1, 2])
+        levels = np.array([0, 1, 2, 3])
+        assert not is_bfs_tree(g, parent, levels)
+
+    def test_root_level_must_be_zero(self):
+        g = gen.path_graph(2)
+        assert not is_bfs_tree(g, np.array([0, 0]), np.array([1, 2]))
+
+    def test_child_level_consistency(self):
+        g = gen.path_graph(3)
+        parent = np.array([0, 0, 1])
+        assert not is_bfs_tree(g, parent, np.array([0, 1, 5]))
+
+    def test_invalid_parent_rejected(self):
+        g = gen.path_graph(2)
+        assert not is_bfs_tree(g, np.array([1, 0]), np.array([0, 1]))
+
+    def test_wrong_levels_shape(self):
+        g = gen.path_graph(2)
+        assert not is_bfs_tree(g, np.array([0, 0]), np.array([0]))

@@ -1,0 +1,121 @@
+"""Integration tests: every algorithm against every graph family, plus
+machine-accounting consistency and determinism."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, biconnected_components, e4500
+from repro.graph import Graph, generators as gen
+from repro.smp import FLAT_UNIT_COSTS, Machine
+from tests.conftest import nx_edge_labels
+
+ALGOS = sorted(ALGORITHMS)
+
+
+class TestAllAlgorithmsAllFamilies:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_corpus(self, algorithm, corpus):
+        for name, g in corpus:
+            res = biconnected_components(g, algorithm=algorithm)
+            np.testing.assert_array_equal(
+                res.edge_labels, nx_edge_labels(g), err_msg=f"{name}/{algorithm}"
+            )
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_medium_random_graphs(self, algorithm):
+        for seed, (n, m) in enumerate([(500, 1200), (400, 2400), (600, 800)]):
+            g = gen.random_connected_gnm(n, m, seed=seed)
+            res = biconnected_components(g, algorithm=algorithm)
+            np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    def test_all_algorithms_agree_pairwise(self):
+        g = gen.random_gnm(300, 700, seed=11)
+        results = [biconnected_components(g, algorithm=a) for a in ALGOS]
+        for other in results[1:]:
+            assert results[0].same_partition(other)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_repeated_runs_identical(self, algorithm):
+        g = gen.random_connected_gnm(150, 450, seed=3)
+        a = biconnected_components(g, algorithm=algorithm)
+        b = biconnected_components(g, algorithm=algorithm)
+        np.testing.assert_array_equal(a.edge_labels, b.edge_labels)
+
+    def test_simulated_times_reproducible(self):
+        g = gen.random_connected_gnm(150, 450, seed=4)
+        t = []
+        for _ in range(2):
+            m = e4500(8)
+            biconnected_components(g, algorithm="tv-opt", machine=m)
+            t.append(m.time_s)
+        assert t[0] == pytest.approx(t[1])
+
+
+class TestMachineAccounting:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_regions_cover_most_of_total(self, algorithm):
+        g = gen.random_connected_gnm(300, 1400, seed=5)
+        m = e4500(6)
+        biconnected_components(g, algorithm=algorithm, machine=m)
+        rep = m.report()
+        region_sum = sum(rep.region_times_s().values())
+        assert region_sum <= rep.time_s * (1 + 1e-9)
+        assert region_sum >= rep.time_s * 0.85  # little unattributed time
+
+    def test_work_decreasing_time_with_p(self):
+        g = gen.random_connected_gnm(400, 2000, seed=6)
+        prev = None
+        for p in (1, 2, 4, 8, 12):
+            m = e4500(p)
+            biconnected_components(g, algorithm="tv-filter", machine=m,
+                                   fallback_ratio=None)
+            if prev is not None:
+                assert m.time_s < prev
+            prev = m.time_s
+
+    def test_flat_machine_counts_positive_work(self):
+        g = gen.random_connected_gnm(100, 250, seed=7)
+        for algorithm in ALGOS:
+            m = Machine(4, FLAT_UNIT_COSTS)
+            biconnected_components(g, algorithm=algorithm, machine=m)
+            assert m.totals.work_total > 0
+            assert m.totals.time_ns > 0
+
+
+class TestStressShapes:
+    def test_long_path_with_chords(self):
+        # moderately deep BFS tree exercises the level sweeps
+        n = 400
+        base = gen.path_graph(n)
+        rng = np.random.default_rng(0)
+        extra_u = rng.integers(0, n - 20, size=50)
+        extra_v = extra_u + rng.integers(2, 19, size=50)
+        g = base.union_edges(Graph(n, extra_u, extra_v))
+        for algorithm in ALGOS:
+            res = biconnected_components(g, algorithm=algorithm)
+            np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    def test_near_complete_graph(self):
+        g = gen.dense_gnm(25, 0.9, seed=8)
+        for algorithm in ALGOS:
+            res = biconnected_components(g, algorithm=algorithm)
+            np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    def test_many_components_many_bridges(self):
+        parts = []
+        offset = 0
+        us, vs = [], []
+        rng = np.random.default_rng(9)
+        n_total = 0
+        for k in range(12):
+            size = int(rng.integers(2, 12))
+            tree = gen.random_tree(size, seed=k)
+            us.append(tree.u + n_total)
+            vs.append(tree.v + n_total)
+            n_total += size
+        g = Graph(n_total, np.concatenate(us), np.concatenate(vs))
+        for algorithm in ALGOS:
+            res = biconnected_components(g, algorithm=algorithm)
+            np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))

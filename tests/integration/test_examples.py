@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public deliverable; these tests catch API drift.
+Each runs in a subprocess (so module-level code executes exactly as a user
+would see it) with a generous timeout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "biconnected components: 4" in out
+        assert "matches sequential Tarjan: OK" in out
+
+    def test_network_resilience(self):
+        out = run_example("network_resilience.py")
+        assert "backbone is now 2-connected" in out
+
+    def test_filtering_anatomy(self):
+        out = run_example("filtering_anatomy.py")
+        assert "%filtered" in out.replace(" ", "") or "filtered" in out
+        assert "erratum" in out
+
+    def test_planarity_preprocessing(self):
+        out = run_example("planarity_preprocessing.py")
+        assert "NOT planar" in out
+        assert "verdicts agree" in out
+
+    def test_speedup_study_small(self):
+        out = run_example("speedup_study.py", "5000", timeout=300)
+        assert "Fig. 3" in out
+        assert "paper-shape spot checks" in out

@@ -1,0 +1,83 @@
+"""Stateful property test: a graph evolves, the invariants must track.
+
+A hypothesis rule-based machine adds random edges, removes random edges,
+and merges in blocks; after every step all four algorithms must agree with
+networkx on the full derived picture (partition, articulation points,
+bridges) and the block-cut tree must remain a forest.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro import ALGORITHMS, biconnected_components
+from repro.core import block_cut_tree, tarjan_bcc
+from repro.graph import Graph
+from tests.conftest import nx_articulation_points, nx_bridges, nx_edge_labels
+
+N = 14  # small vertex count keeps the oracle cheap over many steps
+
+
+class EvolvingGraphMachine(RuleBasedStateMachine):
+    @initialize()
+    def start_empty(self):
+        self.edges: set[tuple[int, int]] = set()
+
+    def _graph(self) -> Graph:
+        if not self.edges:
+            return Graph(N, [], [])
+        arr = np.array(sorted(self.edges), dtype=np.int64)
+        return Graph(N, arr[:, 0], arr[:, 1])
+
+    @rule(a=st.integers(0, N - 1), b=st.integers(0, N - 1))
+    def add_edge(self, a, b):
+        if a != b:
+            self.edges.add((min(a, b), max(a, b)))
+
+    @rule(data=st.data())
+    def remove_edge(self, data):
+        if self.edges:
+            edge = data.draw(st.sampled_from(sorted(self.edges)))
+            self.edges.discard(edge)
+
+    @rule(center=st.integers(0, N - 1), k=st.integers(2, 4))
+    def add_fan(self, center, k):
+        # a fan of edges off one vertex: creates bridges / articulation pts
+        for i in range(1, k + 1):
+            other = (center + i) % N
+            if other != center:
+                self.edges.add((min(center, other), max(center, other)))
+
+    @rule(start=st.integers(0, N - 1), length=st.integers(3, 5))
+    def add_cycle(self, start, length):
+        ring = [(start + i) % N for i in range(length)]
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            if a != b:
+                self.edges.add((min(a, b), max(a, b)))
+
+    @invariant()
+    def all_algorithms_match_networkx(self):
+        g = self._graph()
+        ref_labels = nx_edge_labels(g)
+        ref_cuts = nx_articulation_points(g)
+        ref_bridges = nx_bridges(g)
+        for name in sorted(ALGORITHMS):
+            res = biconnected_components(g, algorithm=name)
+            np.testing.assert_array_equal(res.edge_labels, ref_labels, err_msg=name)
+            np.testing.assert_array_equal(res.articulation_points(), ref_cuts)
+            np.testing.assert_array_equal(res.bridges(), ref_bridges)
+
+    @invariant()
+    def block_cut_tree_is_forest(self):
+        import networkx as nx
+
+        bct = block_cut_tree(tarjan_bcc(self._graph()))
+        if bct.tree.n:
+            assert nx.is_forest(bct.tree.to_networkx())
+
+
+EvolvingGraphMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestEvolvingGraph = EvolvingGraphMachine.TestCase

@@ -1,0 +1,55 @@
+"""Unit and property tests for stream compaction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import pack, pack_indices
+from repro.smp import Machine
+
+
+class TestPackIndices:
+    def test_matches_flatnonzero(self):
+        mask = np.array([True, False, True, True, False])
+        np.testing.assert_array_equal(pack_indices(mask), [0, 2, 3])
+
+    def test_empty_mask(self):
+        assert pack_indices(np.array([], dtype=bool)).size == 0
+
+    def test_all_false(self):
+        assert pack_indices(np.zeros(10, dtype=bool)).size == 0
+
+    def test_all_true(self):
+        np.testing.assert_array_equal(pack_indices(np.ones(4, dtype=bool)), np.arange(4))
+
+    @pytest.mark.parametrize("p", [1, 4, 12])
+    def test_parallel_machines(self, p):
+        rng = np.random.default_rng(p)
+        mask = rng.random(500) < 0.3
+        np.testing.assert_array_equal(
+            pack_indices(mask, machine=Machine(p)), np.flatnonzero(mask)
+        )
+
+    @given(st.lists(st.booleans(), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis(self, bits):
+        mask = np.array(bits, dtype=bool)
+        np.testing.assert_array_equal(pack_indices(mask), np.flatnonzero(mask))
+
+
+class TestPack:
+    def test_values_1d(self):
+        vals = np.array([10, 20, 30, 40])
+        mask = np.array([False, True, False, True])
+        np.testing.assert_array_equal(pack(vals, mask), [20, 40])
+
+    def test_values_2d_rows(self):
+        vals = np.arange(12).reshape(4, 3)
+        mask = np.array([True, False, True, False])
+        np.testing.assert_array_equal(pack(vals, mask), vals[[0, 2]])
+
+    def test_order_preserved(self):
+        vals = np.array([5, 4, 3, 2, 1])
+        mask = np.ones(5, dtype=bool)
+        np.testing.assert_array_equal(pack(vals, mask), vals)

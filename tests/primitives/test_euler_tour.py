@@ -1,0 +1,224 @@
+"""Unit tests for Euler-tour tree numbering (the TV-SMP path)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, generators as gen
+from repro.primitives import euler_tour_numbering
+from repro.smp import Machine
+
+
+def check_numbering(num, n, tree_edges):
+    """Structural validity checks shared by all numbering tests.
+
+    * parent encodes the given forest (as undirected edge set);
+    * pre is a permutation of 0..n-1;
+    * parents precede children in preorder;
+    * subtree sizes are consistent (child ranges nest inside parents);
+    * depth equals distance to the root.
+    """
+    parent = num.parent
+    idx = np.arange(n)
+    roots = np.flatnonzero(parent == idx)
+    np.testing.assert_array_equal(np.sort(num.roots), np.sort(roots))
+    # parent edges = tree edges
+    nonroot = np.flatnonzero(parent != idx)
+    got = {(min(int(v), int(parent[v])), max(int(v), int(parent[v]))) for v in nonroot}
+    want = {(min(a, b), max(a, b)) for a, b in tree_edges}
+    assert got == want
+    # preorder is a permutation
+    np.testing.assert_array_equal(np.sort(num.pre), np.arange(n))
+    # parent precedes child; child range nested in parent range
+    for v in nonroot.tolist():
+        p = int(parent[v])
+        assert num.pre[p] < num.pre[v]
+        assert num.pre[p] < num.pre[v] + num.size[v] <= num.pre[p] + num.size[p]
+        assert num.depth[v] == num.depth[p] + 1
+    for r in roots.tolist():
+        assert num.depth[r] == 0
+    # sizes: root sizes sum to n; each size = 1 + sum of children sizes
+    assert num.size[roots].sum() == n
+    child_sum = np.zeros(n, dtype=np.int64)
+    np.add.at(child_sum, parent[nonroot], num.size[nonroot])
+    np.testing.assert_array_equal(num.size, child_sum + 1)
+
+
+def tree_edges_of(g):
+    return [(int(a), int(b)) for a, b in g.edges().tolist()]
+
+
+class TestSingleTree:
+    def test_path(self):
+        g = gen.path_graph(7)
+        num = euler_tour_numbering(7, g.u, g.v, roots=np.array([0]))
+        check_numbering(num, 7, tree_edges_of(g))
+        np.testing.assert_array_equal(num.pre, np.arange(7))
+        np.testing.assert_array_equal(num.size, np.arange(7, 0, -1))
+
+    def test_star(self):
+        g = gen.star_graph(6)
+        num = euler_tour_numbering(6, g.u, g.v, roots=np.array([0]))
+        check_numbering(num, 6, tree_edges_of(g))
+        assert num.pre[0] == 0
+        assert (num.size[1:] == 1).all()
+
+    def test_binary_tree(self):
+        g = gen.binary_tree(15)
+        num = euler_tour_numbering(15, g.u, g.v, roots=np.array([0]))
+        check_numbering(num, 15, tree_edges_of(g))
+        assert num.size[0] == 15
+
+    def test_random_trees(self):
+        for seed in range(6):
+            g = gen.random_tree(40, seed=seed)
+            num = euler_tour_numbering(40, g.u, g.v, roots=np.array([0]))
+            check_numbering(num, 40, tree_edges_of(g))
+
+    def test_requested_root_honored(self):
+        g = gen.random_tree(20, seed=1)
+        num = euler_tour_numbering(20, g.u, g.v, roots=np.array([13]))
+        assert num.parent[13] == 13
+        assert num.pre[13] == 0
+
+    def test_parent_edge_indexes_input_list(self):
+        g = gen.random_tree(25, seed=2)
+        num = euler_tour_numbering(25, g.u, g.v, roots=np.array([0]))
+        nonroot = np.flatnonzero(num.parent != np.arange(25))
+        for v in nonroot.tolist():
+            e = int(num.parent_edge[v])
+            assert {int(g.u[e]), int(g.v[e])} == {v, int(num.parent[v])}
+
+    @pytest.mark.parametrize("p", [1, 4, 12])
+    def test_machines_dont_change_results(self, p):
+        g = gen.random_tree(30, seed=3)
+        base = euler_tour_numbering(30, g.u, g.v, roots=np.array([0]))
+        m = euler_tour_numbering(30, g.u, g.v, Machine(p), roots=np.array([0]))
+        np.testing.assert_array_equal(base.pre, m.pre)
+        np.testing.assert_array_equal(base.size, m.size)
+
+
+class TestForests:
+    def test_two_trees(self):
+        # tree A: 0-1-2; tree B: 3-4
+        num = euler_tour_numbering(5, [0, 1, 3], [1, 2, 4], roots=np.array([0, 3]))
+        check_numbering(num, 5, [(0, 1), (1, 2), (3, 4)])
+        # components occupy disjoint preorder ranges ordered by root
+        assert num.pre[0] == 0 and num.pre[3] == 3
+
+    def test_isolated_vertices(self):
+        num = euler_tour_numbering(5, [1], [3], roots=np.array([1]))
+        check_numbering(num, 5, [(1, 3)])
+        assert num.size[0] == num.size[2] == num.size[4] == 1
+        # isolated vertices numbered after tree components
+        assert sorted(num.pre[[0, 2, 4]].tolist()) == [2, 3, 4]
+
+    def test_all_isolated(self):
+        num = euler_tour_numbering(4, [], [])
+        np.testing.assert_array_equal(num.pre, np.arange(4))
+        np.testing.assert_array_equal(num.roots, np.arange(4))
+
+    def test_empty(self):
+        num = euler_tour_numbering(0, [], [])
+        assert num.parent.size == 0
+
+
+class TestAncestry:
+    def test_is_ancestor_and_unrelated(self):
+        # path 0-1-2 plus branch 1-3
+        num = euler_tour_numbering(4, [0, 1, 1], [1, 2, 3], roots=np.array([0]))
+        a = np.array([0, 1, 2])
+        b = np.array([2, 3, 3])
+        anc = num.is_ancestor(a, b)
+        assert anc.tolist() == [True, True, False]
+        unrel = num.unrelated(np.array([2]), np.array([3]))
+        assert unrel.tolist() == [True]
+
+    def test_self_is_ancestor(self):
+        num = euler_tour_numbering(3, [0, 1], [1, 2], roots=np.array([0]))
+        assert num.is_ancestor(np.array([1]), np.array([1])).tolist() == [True]
+
+
+class TestListRankingVariants:
+    def test_helman_jaja_matches_wyllie(self):
+        g = gen.random_tree(60, seed=4)
+        w = euler_tour_numbering(60, g.u, g.v, roots=np.array([0]), list_ranking="wyllie")
+        h = euler_tour_numbering(
+            60, g.u, g.v, roots=np.array([0]), list_ranking="helman-jaja"
+        )
+        np.testing.assert_array_equal(w.pre, h.pre)
+        np.testing.assert_array_equal(w.size, h.size)
+        np.testing.assert_array_equal(w.parent, h.parent)
+
+
+class TestErrors:
+    def test_duplicate_tree_edges_rejected(self):
+        with pytest.raises(ValueError):
+            euler_tour_numbering(3, [0, 0], [1, 1])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            euler_tour_numbering(3, [0, 1, 2], [1, 2, 0])
+
+
+class TestRegions:
+    def test_charges_attributed_to_regions(self):
+        from repro.smp import FLAT_UNIT_COSTS
+
+        g = gen.random_tree(50, seed=5)
+        m = Machine(4, FLAT_UNIT_COSTS)
+        euler_tour_numbering(50, g.u, g.v, m, roots=np.array([0]))
+        times = m.report().region_times_s()
+        assert set(times) == {"Euler-tour", "Root-tree"}
+        assert all(t > 0 for t in times.values())
+
+
+class TestHypothesisForests:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(1, 30), st.integers(0, 10**6), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_random_forests(self, n, seed, ntrees):
+        import numpy as np
+
+        from repro.graph import Graph
+        from repro.graph import generators as gen
+
+        # build a forest of ntrees random trees over disjoint vertex ranges
+        rng = np.random.default_rng(seed)
+        sizes = []
+        remaining = n
+        for i in range(ntrees - 1):
+            if remaining <= 1:
+                break
+            s = int(rng.integers(1, remaining))
+            sizes.append(s)
+            remaining -= s
+        sizes.append(remaining)
+        us, vs = [], []
+        base = 0
+        for i, s in enumerate(sizes):
+            t = gen.random_tree(s, seed=seed + i)
+            us.append(t.u + base)
+            vs.append(t.v + base)
+            base += s
+        tu = np.concatenate(us) if us else np.array([], dtype=np.int64)
+        tv_ = np.concatenate(vs) if vs else np.array([], dtype=np.int64)
+        num = euler_tour_numbering(n, tu, tv_)
+        check_numbering(num, n, [(int(a), int(b)) for a, b in zip(tu, tv_)])
+
+    @given(st.integers(2, 40), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_numbering_strategies_equivalent(self, n, seed):
+        import numpy as np
+
+        from repro.graph import generators as gen
+        from repro.primitives import bfs, numbering_from_parents
+
+        g = gen.random_tree(n, seed=seed)
+        res = bfs(g, root=0)
+        a = numbering_from_parents(res.parent, res.level, res.parent_edge)
+        b = euler_tour_numbering(n, g.u, g.v, roots=np.array([0]))
+        np.testing.assert_array_equal(a.parent, b.parent)
+        np.testing.assert_array_equal(a.size, b.size)
+        np.testing.assert_array_equal(a.depth, b.depth)

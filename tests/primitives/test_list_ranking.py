@@ -1,0 +1,111 @@
+"""Unit and property tests for list ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import distance_to_tail, helman_jaja_rank, list_rank, wyllie_rank
+from repro.smp import Machine
+
+
+def random_list(n, seed):
+    """A random linked list over nodes 0..n-1; returns (succ, head, order)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    succ = np.empty(n, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    succ[order[-1]] = order[-1]  # tail self-loop
+    return succ, int(order[0]), order
+
+
+def reference_ranks(order):
+    ranks = np.empty(order.size, dtype=np.int64)
+    ranks[order] = np.arange(order.size)
+    return ranks
+
+
+class TestDistanceToTail:
+    def test_single_list(self):
+        succ, head, order = random_list(20, 0)
+        dist = distance_to_tail(succ)
+        assert dist[order[-1]] == 0
+        assert dist[head] == 19
+
+    def test_multiple_lists(self):
+        # two lists: 0->1->2 (tail 2) and 3->4 (tail 4)
+        succ = np.array([1, 2, 2, 4, 4])
+        np.testing.assert_array_equal(distance_to_tail(succ), [2, 1, 0, 1, 0])
+
+    def test_empty(self):
+        assert distance_to_tail(np.array([], dtype=np.int64)).size == 0
+
+    def test_all_singletons(self):
+        succ = np.arange(5)
+        np.testing.assert_array_equal(distance_to_tail(succ), np.zeros(5))
+
+
+class TestWyllie:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 100, 999])
+    def test_ranks_correct(self, n):
+        succ, head, order = random_list(n, n)
+        np.testing.assert_array_equal(wyllie_rank(succ, head), reference_ranks(order))
+
+    def test_charges_log_rounds(self):
+        from repro.smp import FLAT_UNIT_COSTS
+
+        succ, head, _ = random_list(64, 1)
+        m = Machine(1, FLAT_UNIT_COSTS)
+        wyllie_rank(succ, head, machine=m)
+        # log2(64)=6 pointer-jumping rounds at least
+        assert m.totals.parallel_rounds >= 6
+
+
+class TestHelmanJaja:
+    @pytest.mark.parametrize("n", [1, 2, 5, 33, 250])
+    def test_ranks_correct(self, n):
+        succ, head, order = random_list(n, n + 1000)
+        ranks = helman_jaja_rank(succ, head, machine=Machine(4))
+        np.testing.assert_array_equal(ranks, reference_ranks(order))
+
+    def test_explicit_sublists(self):
+        succ, head, order = random_list(120, 7)
+        ranks = helman_jaja_rank(succ, head, num_sublists=16, seed=3)
+        np.testing.assert_array_equal(ranks, reference_ranks(order))
+
+    def test_single_sublist_degenerate(self):
+        succ, head, order = random_list(30, 8)
+        ranks = helman_jaja_rank(succ, head, num_sublists=1)
+        np.testing.assert_array_equal(ranks, reference_ranks(order))
+
+    def test_nodes_off_list_get_minus_one(self):
+        # list 0->1 (tail 1); node 2 is a separate singleton
+        succ = np.array([1, 1, 2])
+        ranks = helman_jaja_rank(succ, 0, num_sublists=1)
+        assert ranks[0] == 0 and ranks[1] == 1
+        assert ranks[2] == -1
+
+    def test_empty(self):
+        assert helman_jaja_rank(np.array([], dtype=np.int64), 0).size == 0
+
+
+class TestListRankDispatch:
+    def test_algorithms_agree(self):
+        succ, head, order = random_list(200, 9)
+        w = list_rank(succ, head, algorithm="wyllie")
+        h = list_rank(succ, head, algorithm="helman-jaja")
+        np.testing.assert_array_equal(w, h)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            list_rank(np.array([0]), 0, algorithm="nope")
+
+    @given(st.integers(1, 150), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_hypothesis_both_algorithms(self, n, seed):
+        succ, head, order = random_list(n, seed)
+        ref = reference_ranks(order)
+        np.testing.assert_array_equal(wyllie_rank(succ, head), ref)
+        np.testing.assert_array_equal(
+            helman_jaja_rank(succ, head, machine=Machine(3), seed=seed), ref
+        )

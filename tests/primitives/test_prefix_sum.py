@@ -1,0 +1,143 @@
+"""Unit and property tests for parallel prefix sums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.primitives import (
+    exclusive_prefix_sum,
+    prefix_scan,
+    prefix_sum,
+    segmented_prefix_scan,
+)
+from repro.smp import FLAT_UNIT_COSTS, Machine
+
+
+def machines():
+    return [None, Machine(1), Machine(4), Machine(12), Machine(7, FLAT_UNIT_COSTS)]
+
+
+class TestPrefixSum:
+    @pytest.mark.parametrize("p", [1, 2, 4, 12, 64])
+    def test_matches_cumsum(self, p):
+        rng = np.random.default_rng(p)
+        x = rng.integers(-50, 50, size=1000)
+        out = prefix_sum(x, machine=Machine(p))
+        np.testing.assert_array_equal(out, np.cumsum(x))
+
+    def test_empty(self):
+        assert prefix_sum(np.array([], dtype=np.int64)).size == 0
+
+    def test_single(self):
+        np.testing.assert_array_equal(prefix_sum(np.array([7])), [7])
+
+    def test_more_processors_than_items(self):
+        x = np.arange(3)
+        np.testing.assert_array_equal(prefix_sum(x, machine=Machine(12)), np.cumsum(x))
+
+    def test_floats(self):
+        x = np.array([0.5, 1.5, -1.0])
+        np.testing.assert_allclose(prefix_sum(x), np.cumsum(x))
+
+    def test_charges_two_passes(self):
+        m = Machine(4, FLAT_UNIT_COSTS)
+        prefix_sum(np.ones(100, dtype=np.int64), machine=m)
+        # phase 1 (2 ops/elem) + phase 3 (3 ops/elem) + p block offsets
+        assert m.totals.work_total >= 2 * 100
+
+    @given(arrays(np.int64, st.integers(0, 200), elements=st.integers(-1000, 1000)),
+           st.integers(1, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_matches_cumsum(self, x, p):
+        np.testing.assert_array_equal(prefix_sum(x, machine=Machine(p)), np.cumsum(x))
+
+
+class TestExclusive:
+    def test_matches_reference(self):
+        x = np.array([3, 1, 4, 1, 5])
+        np.testing.assert_array_equal(exclusive_prefix_sum(x), [0, 3, 4, 8, 9])
+
+    def test_empty(self):
+        assert exclusive_prefix_sum(np.array([], dtype=np.int64)).size == 0
+
+
+class TestScanOps:
+    @pytest.mark.parametrize("p", [1, 3, 12])
+    def test_max_scan(self, p):
+        rng = np.random.default_rng(p)
+        x = rng.integers(-100, 100, size=500)
+        np.testing.assert_array_equal(
+            prefix_scan(x, "max", Machine(p)), np.maximum.accumulate(x)
+        )
+
+    @pytest.mark.parametrize("p", [1, 3, 12])
+    def test_min_scan(self, p):
+        rng = np.random.default_rng(p + 100)
+        x = rng.integers(-100, 100, size=500)
+        np.testing.assert_array_equal(
+            prefix_scan(x, "min", Machine(p)), np.minimum.accumulate(x)
+        )
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            prefix_scan(np.array([1]), "xor")
+
+
+def segmented_reference(x, starts, op):
+    out = np.empty_like(x)
+    acc = None
+    fns = {"sum": lambda a, b: a + b, "min": min, "max": max}
+    for i in range(x.size):
+        if starts[i] or i == 0 or acc is None:
+            acc = x[i]
+        else:
+            acc = fns[op](acc, x[i])
+        out[i] = acc
+    return out
+
+
+class TestSegmented:
+    @pytest.mark.parametrize("op", ["sum", "min", "max"])
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_matches_reference(self, op, p):
+        rng = np.random.default_rng(hash(op) % 100 + p)
+        x = rng.integers(-20, 20, size=300)
+        starts = rng.random(300) < 0.07
+        out = segmented_prefix_scan(x, starts, op, Machine(p))
+        np.testing.assert_array_equal(out, segmented_reference(x, starts, op))
+
+    def test_no_segments_is_plain_scan(self):
+        x = np.arange(10)
+        out = segmented_prefix_scan(x, np.zeros(10, dtype=bool), "sum")
+        np.testing.assert_array_equal(out, np.cumsum(x))
+
+    def test_every_position_a_segment(self):
+        x = np.array([5, -2, 7])
+        out = segmented_prefix_scan(x, np.ones(3, dtype=bool), "sum")
+        np.testing.assert_array_equal(out, x)
+
+    def test_empty(self):
+        out = segmented_prefix_scan(np.array([], dtype=np.int64), np.array([], dtype=bool))
+        assert out.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            segmented_prefix_scan(np.arange(3), np.zeros(2, dtype=bool))
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            segmented_prefix_scan(np.arange(3), np.zeros(3, dtype=bool), "prod")
+
+    @given(
+        arrays(np.int64, st.integers(1, 120), elements=st.integers(-50, 50)),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hypothesis_sum(self, x, data):
+        starts = np.array(
+            data.draw(st.lists(st.booleans(), min_size=x.size, max_size=x.size))
+        )
+        out = segmented_prefix_scan(x, starts, "sum", Machine(3))
+        np.testing.assert_array_equal(out, segmented_reference(x, starts, "sum"))

@@ -1,0 +1,80 @@
+"""Unit and property tests for sparse-table range queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import SparseTable, range_max, range_min
+from repro.smp import Machine
+
+
+def brute(values, lo, hi, fn):
+    return np.array([fn(values[a:b]) for a, b in zip(lo, hi)])
+
+
+class TestSparseTable:
+    @pytest.mark.parametrize("op,fn", [("min", np.min), ("max", np.max)])
+    def test_random_queries(self, op, fn):
+        rng = np.random.default_rng(0)
+        values = rng.integers(-1000, 1000, size=200)
+        lo = rng.integers(0, 199, size=100)
+        hi = lo + rng.integers(1, 200 - lo.astype(np.int64), endpoint=True)
+        hi = np.minimum(hi, 200)
+        table = SparseTable(values, op)
+        np.testing.assert_array_equal(table.query(lo, hi), brute(values, lo, hi, fn))
+
+    def test_single_element_ranges(self):
+        values = np.array([5, 1, 9])
+        t = SparseTable(values, "min")
+        np.testing.assert_array_equal(
+            t.query(np.arange(3), np.arange(1, 4)), values
+        )
+
+    def test_full_range(self):
+        values = np.array([3, -7, 2, 8])
+        assert SparseTable(values, "min").query(np.array([0]), np.array([4]))[0] == -7
+        assert SparseTable(values, "max").query(np.array([0]), np.array([4]))[0] == 8
+
+    def test_empty_query_batch(self):
+        t = SparseTable(np.arange(5), "min")
+        assert t.query(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+
+    def test_invalid_ranges(self):
+        t = SparseTable(np.arange(5), "min")
+        with pytest.raises(ValueError):
+            t.query(np.array([2]), np.array([2]))  # empty range
+        with pytest.raises(ValueError):
+            t.query(np.array([-1]), np.array([2]))
+        with pytest.raises(ValueError):
+            t.query(np.array([0]), np.array([6]))
+        with pytest.raises(ValueError):
+            t.query(np.array([0, 1]), np.array([2]))
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            SparseTable(np.arange(3), "sum")
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            SparseTable(np.zeros((2, 2)), "min")
+
+    def test_machine_charged(self):
+        from repro.smp import FLAT_UNIT_COSTS
+
+        m = Machine(4, FLAT_UNIT_COSTS)
+        t = SparseTable(np.arange(64), "min", machine=m)
+        assert m.totals.parallel_rounds >= 6  # log2(64) doubling passes
+
+    @given(
+        st.lists(st.integers(-50, 50), min_size=1, max_size=100),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis(self, vals, data):
+        values = np.array(vals)
+        n = values.size
+        lo = data.draw(st.integers(0, n - 1))
+        hi = data.draw(st.integers(lo + 1, n))
+        assert range_min(values, np.array([lo]), np.array([hi]))[0] == values[lo:hi].min()
+        assert range_max(values, np.array([lo]), np.array([hi]))[0] == values[lo:hi].max()

@@ -1,0 +1,85 @@
+"""Unit and property tests for the Helman–JáJá sample sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.primitives import sample_argsort, sample_sort
+from repro.smp import Machine
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 13])
+    def test_sorted_output(self, p):
+        rng = np.random.default_rng(p)
+        keys = rng.integers(0, 10_000, size=2000)
+        np.testing.assert_array_equal(sample_sort(keys, Machine(p)), np.sort(keys))
+
+    def test_empty(self):
+        assert sample_sort(np.array([], dtype=np.int64)).size == 0
+
+    def test_single(self):
+        np.testing.assert_array_equal(sample_sort(np.array([42])), [42])
+
+    def test_already_sorted(self):
+        keys = np.arange(100)
+        np.testing.assert_array_equal(sample_sort(keys, Machine(4)), keys)
+
+    def test_reverse_sorted(self):
+        keys = np.arange(100)[::-1].copy()
+        np.testing.assert_array_equal(sample_sort(keys, Machine(4)), np.arange(100))
+
+    def test_all_equal(self):
+        keys = np.full(500, 7)
+        np.testing.assert_array_equal(sample_sort(keys, Machine(8)), keys)
+
+    def test_floats(self):
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=300)
+        np.testing.assert_allclose(sample_sort(keys, Machine(4)), np.sort(keys))
+
+
+class TestSampleArgsort:
+    @pytest.mark.parametrize("p", [1, 3, 12])
+    def test_matches_stable_argsort(self, p):
+        rng = np.random.default_rng(p + 50)
+        keys = rng.integers(0, 40, size=1000)  # heavy duplicates: stability matters
+        perm = sample_argsort(keys, Machine(p))
+        np.testing.assert_array_equal(perm, np.argsort(keys, kind="stable"))
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 5, size=200)
+        perm = sample_argsort(keys, Machine(6))
+        np.testing.assert_array_equal(np.sort(perm), np.arange(200))
+
+    def test_stability_with_few_distinct_keys(self):
+        keys = np.array([1, 0, 1, 0, 1, 0])
+        perm = sample_argsort(keys, Machine(3))
+        np.testing.assert_array_equal(perm, [1, 3, 5, 0, 2, 4])
+
+    def test_oversample_knob(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 1000, size=500)
+        for oversample in (2, 8, 32):
+            perm = sample_argsort(keys, Machine(4), oversample=oversample)
+            np.testing.assert_array_equal(perm, np.argsort(keys, kind="stable"))
+
+    def test_charges_sort_work(self):
+        from repro.smp import FLAT_UNIT_COSTS
+
+        m = Machine(4, FLAT_UNIT_COSTS)
+        rng = np.random.default_rng(3)
+        sample_argsort(rng.integers(0, 100, 256), m)
+        assert m.totals.work_total > 256  # superlinear: local sorts + exchange
+
+    @given(
+        arrays(np.int64, st.integers(0, 400), elements=st.integers(-100, 100)),
+        st.integers(1, 14),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_stable(self, keys, p):
+        perm = sample_argsort(keys, Machine(p))
+        np.testing.assert_array_equal(perm, np.argsort(keys, kind="stable"))

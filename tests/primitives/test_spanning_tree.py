@@ -1,0 +1,82 @@
+"""Unit tests for the spanning-tree strategies."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, generators as gen
+from repro.graph.validate import is_bfs_tree, is_spanning_tree
+from repro.primitives import (
+    bfs_spanning_tree,
+    root_tree_edges,
+    sv_spanning_tree,
+    traversal_spanning_tree,
+)
+
+
+class TestSVSpanningTree:
+    @pytest.mark.parametrize("mode", ["textbook", "engineered"])
+    def test_valid_forest(self, mode, corpus):
+        for name, g in corpus:
+            forest = sv_spanning_tree(g, mode=mode)
+            assert forest.edge_ids.size == g.n - forest.num_components, name
+            if g.n:
+                rooted = root_tree_edges(g.n, g.u[forest.edge_ids], g.v[forest.edge_ids])
+                assert is_spanning_tree(g, rooted.parent), name
+
+    def test_edge_mask(self):
+        g = gen.cycle_graph(6)
+        forest = sv_spanning_tree(g)
+        mask = forest.edge_mask(g.m)
+        assert mask.sum() == 5
+
+    def test_labels_per_component(self):
+        g = Graph(6, [0, 1, 3], [1, 2, 4])
+        forest = sv_spanning_tree(g)
+        assert forest.num_components == 3
+        assert forest.labels[0] == forest.labels[1] == forest.labels[2]
+        assert forest.labels[3] == forest.labels[4]
+        assert forest.labels[5] not in (forest.labels[0], forest.labels[3])
+
+
+class TestTraversalSpanningTree:
+    def test_rooted_at_request(self):
+        g = gen.random_connected_gnm(60, 150, seed=1)
+        res = traversal_spanning_tree(g, root=7)
+        assert res.parent[7] == 7
+        assert is_spanning_tree(g, res.parent, root=7)
+
+    def test_covers_disconnected(self):
+        g = Graph(6, [0, 3], [1, 4])
+        res = traversal_spanning_tree(g, root=3)
+        assert (res.parent >= 0).all()
+        assert 3 in res.roots.tolist()
+
+    def test_empty(self):
+        res = traversal_spanning_tree(Graph(0, [], []))
+        assert res.parent.size == 0
+
+
+class TestBFSSpanningTree:
+    def test_has_bfs_property(self):
+        for seed in range(3):
+            g = gen.random_connected_gnm(70, 200, seed=seed)
+            res = bfs_spanning_tree(g, root=0)
+            assert is_bfs_tree(g, res.parent, res.level)
+
+    def test_path_graph_levels(self):
+        g = gen.path_graph(8)
+        res = bfs_spanning_tree(g, root=0)
+        np.testing.assert_array_equal(res.level, np.arange(8))
+
+
+class TestRootTreeEdges:
+    def test_roots_unrooted_forest(self):
+        # star edges given in arbitrary orientation
+        res = root_tree_edges(4, [1, 2, 3], [0, 0, 0], root=0)
+        assert res.parent.tolist() == [0, 0, 0, 0]
+
+    def test_other_root(self):
+        res = root_tree_edges(3, [0, 1], [1, 2], root=2)
+        assert res.parent[2] == 2
+        assert res.parent[1] == 2
+        assert res.parent[0] == 1

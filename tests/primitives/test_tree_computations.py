@@ -1,0 +1,197 @@
+"""Unit tests for rooted-tree computations (the TV-opt path)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.primitives import (
+    bfs,
+    dfs_euler_tour_positions,
+    dfs_preorder,
+    euler_tour_numbering,
+    numbering_from_parents,
+    subtree_max_sweep,
+    subtree_min_sweep,
+    subtree_sizes,
+    vertices_by_level,
+)
+from tests.primitives.test_euler_tour import check_numbering, tree_edges_of
+
+
+def rooted_tree(n, seed=0, root=0):
+    g = gen.random_tree(n, seed=seed)
+    res = bfs(g, root=root)
+    return g, res
+
+
+def brute_subtree_sets(parent):
+    """subtree vertex sets by brute force."""
+    n = parent.size
+    subs = [set([v]) for v in range(n)]
+    # repeat until closure
+    changed = True
+    while changed:
+        changed = False
+        for v in range(n):
+            p = int(parent[v])
+            if p != v and not subs[v] <= subs[p]:
+                subs[p] |= subs[v]
+                changed = True
+    return subs
+
+
+class TestVerticesByLevel:
+    def test_groups(self):
+        level = np.array([0, 1, 1, 2, 0])
+        groups = vertices_by_level(level)
+        assert sorted(groups[0].tolist()) == [0, 4]
+        assert sorted(groups[1].tolist()) == [1, 2]
+        assert groups[2].tolist() == [3]
+
+    def test_empty(self):
+        assert vertices_by_level(np.array([], dtype=np.int64)) == []
+
+
+class TestSubtreeSizes:
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            g, res = rooted_tree(30, seed=seed)
+            size = subtree_sizes(res.parent, res.level)
+            subs = brute_subtree_sets(res.parent)
+            np.testing.assert_array_equal(size, [len(s) for s in subs])
+
+    def test_star_and_path(self):
+        g, res = rooted_tree(2, seed=0)
+        assert subtree_sizes(res.parent, res.level).tolist() == [2, 1]
+
+    def test_forest(self):
+        parent = np.array([0, 0, 2, 2])
+        level = np.array([0, 1, 0, 1])
+        np.testing.assert_array_equal(subtree_sizes(parent, level), [2, 1, 2, 1])
+
+    def test_empty(self):
+        assert subtree_sizes(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+
+
+class TestDfsPreorder:
+    def test_valid_dfs_numbering(self):
+        for seed in range(5):
+            g, res = rooted_tree(40, seed=seed)
+            size = subtree_sizes(res.parent, res.level)
+            pre = dfs_preorder(res.parent, res.level, size)
+            # permutation + nesting checks
+            np.testing.assert_array_equal(np.sort(pre), np.arange(40))
+            nonroot = np.flatnonzero(res.parent != np.arange(40))
+            for v in nonroot.tolist():
+                p = int(res.parent[v])
+                assert pre[p] < pre[v]
+                assert pre[p] < pre[v] + size[v] <= pre[p] + size[p]
+
+    def test_siblings_ordered_by_id(self):
+        # star rooted at 0: preorder must visit 1, 2, 3 in id order
+        parent = np.array([0, 0, 0, 0])
+        level = np.array([0, 1, 1, 1])
+        size = subtree_sizes(parent, level)
+        pre = dfs_preorder(parent, level, size)
+        np.testing.assert_array_equal(pre, [0, 1, 2, 3])
+
+    def test_forest_disjoint_ranges(self):
+        parent = np.array([0, 0, 2, 2, 2])
+        level = np.array([0, 1, 0, 1, 1])
+        size = subtree_sizes(parent, level)
+        pre = dfs_preorder(parent, level, size)
+        assert pre[0] == 0 and pre[2] == 2
+        np.testing.assert_array_equal(np.sort(pre), np.arange(5))
+
+
+class TestNumberingFromParents:
+    def test_structural_validity(self):
+        for seed in range(5):
+            g, res = rooted_tree(35, seed=seed)
+            num = numbering_from_parents(res.parent, res.level, res.parent_edge)
+            check_numbering(num, 35, tree_edges_of(g))
+
+    def test_agrees_with_euler_tour_on_invariants(self):
+        g = gen.random_tree(50, seed=9)
+        res = bfs(g, root=0)
+        a = numbering_from_parents(res.parent, res.level, res.parent_edge)
+        b = euler_tour_numbering(50, g.u, g.v, roots=np.array([0]))
+        # same tree -> identical parent, size, depth (preorders may differ
+        # by sibling order but both are valid DFS numberings)
+        np.testing.assert_array_equal(a.parent, b.parent)
+        np.testing.assert_array_equal(a.size, b.size)
+        np.testing.assert_array_equal(a.depth, b.depth)
+
+    def test_empty(self):
+        num = numbering_from_parents(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert num.parent.size == 0
+
+
+class TestSweeps:
+    def test_min_sweep_matches_brute(self):
+        for seed in range(3):
+            g, res = rooted_tree(25, seed=seed)
+            rng = np.random.default_rng(seed)
+            vals = rng.integers(-100, 100, size=25)
+            subs = brute_subtree_sets(res.parent)
+            got = subtree_min_sweep(vals, res.parent, res.level)
+            want = [min(vals[list(s)]) for s in subs]
+            np.testing.assert_array_equal(got, want)
+
+    def test_max_sweep_matches_brute(self):
+        g, res = rooted_tree(25, seed=7)
+        rng = np.random.default_rng(7)
+        vals = rng.integers(-100, 100, size=25)
+        subs = brute_subtree_sets(res.parent)
+        got = subtree_max_sweep(vals, res.parent, res.level)
+        np.testing.assert_array_equal(got, [max(vals[list(s)]) for s in subs])
+
+    def test_input_not_mutated(self):
+        g, res = rooted_tree(10, seed=1)
+        vals = np.arange(10)
+        before = vals.copy()
+        subtree_min_sweep(vals, res.parent, res.level)
+        np.testing.assert_array_equal(vals, before)
+
+    def test_empty(self):
+        out = subtree_min_sweep(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        )
+        assert out.size == 0
+
+
+class TestTourPositions:
+    def test_positions_reconstruct_tour(self):
+        # verify the closed-form positions describe a consistent DFS tour:
+        # forward position of v lies strictly inside its parent's span, and
+        # all 2(n-1) slots are used exactly once
+        g, res = rooted_tree(30, seed=11)
+        num = numbering_from_parents(res.parent, res.level, res.parent_edge)
+        fwd, back = dfs_euler_tour_positions(num)
+        nonroot = np.flatnonzero(res.parent != np.arange(30))
+        slots = np.concatenate([fwd[nonroot], back[nonroot]])
+        np.testing.assert_array_equal(np.sort(slots), np.arange(2 * nonroot.size))
+        for v in nonroot.tolist():
+            assert fwd[v] < back[v]
+            p = int(res.parent[v])
+            if res.parent[p] != p:
+                assert fwd[p] < fwd[v] and back[v] < back[p]
+
+    def test_roots_get_sentinel(self):
+        g, res = rooted_tree(10, seed=2)
+        num = numbering_from_parents(res.parent, res.level, res.parent_edge)
+        fwd, back = dfs_euler_tour_positions(num)
+        assert fwd[0] == -1 and back[0] == -1
+
+    def test_path_positions(self):
+        # path 0-1-2 rooted at 0: tour (0->1),(1->2),(2->1),(1->0)
+        parent = np.array([0, 0, 1])
+        level = np.array([0, 1, 2])
+        num = numbering_from_parents(parent, level)
+        fwd, back = dfs_euler_tour_positions(num)
+        assert fwd[1] == 0 and back[1] == 3
+        assert fwd[2] == 1 and back[2] == 2

@@ -1,0 +1,116 @@
+"""Unit and property tests for rake-and-compress tree contraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators as gen
+from repro.primitives import bfs
+from repro.primitives.tree_contraction import subtree_aggregate_contraction
+from repro.smp import FLAT_UNIT_COSTS, Machine
+from tests.primitives.test_tree_computations import brute_subtree_sets
+
+
+def rooted(n, seed=0):
+    g = gen.random_tree(n, seed=seed)
+    return bfs(g, root=0).parent
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("op,fn", [("min", min), ("max", max), ("sum", sum)])
+    def test_matches_brute_force(self, op, fn):
+        for seed in range(4):
+            parent = rooted(35, seed=seed)
+            rng = np.random.default_rng(seed)
+            vals = rng.integers(-100, 100, size=35)
+            out = subtree_aggregate_contraction(vals, parent, op)
+            subs = brute_subtree_sets(parent)
+            np.testing.assert_array_equal(out, [fn(vals[sorted(s)].tolist()) for s in subs])
+
+    def test_path_tree(self):
+        # worst case for the level sweep, easy for compress
+        n = 64
+        parent = np.arange(-1, n - 1)
+        parent[0] = 0
+        vals = np.random.default_rng(0).integers(0, 1000, size=n)
+        out = subtree_aggregate_contraction(vals, parent, "min")
+        ref = np.minimum.accumulate(vals[::-1])[::-1]
+        np.testing.assert_array_equal(out, ref)
+
+    def test_star_tree(self):
+        parent = np.zeros(20, dtype=np.int64)
+        vals = np.arange(20)
+        out = subtree_aggregate_contraction(vals, parent, "sum")
+        assert out[0] == vals.sum()
+        np.testing.assert_array_equal(out[1:], vals[1:])
+
+    def test_forest(self):
+        parent = np.array([0, 0, 2, 2, 3])
+        vals = np.array([5, 1, 7, 2, 9])
+        out = subtree_aggregate_contraction(vals, parent, "max")
+        np.testing.assert_array_equal(out, [5, 1, 9, 9, 9])
+
+    def test_single_vertex_and_empty(self):
+        out = subtree_aggregate_contraction(np.array([3]), np.array([0]), "min")
+        assert out.tolist() == [3]
+        assert subtree_aggregate_contraction(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        ).size == 0
+
+    def test_floats(self):
+        parent = rooted(20, seed=5)
+        vals = np.random.default_rng(5).normal(size=20)
+        out = subtree_aggregate_contraction(vals, parent, "min")
+        subs = brute_subtree_sets(parent)
+        np.testing.assert_allclose(out, [vals[sorted(s)].min() for s in subs])
+
+    def test_matches_level_sweep(self):
+        from repro.graph.validate import tree_depths
+        from repro.primitives import subtree_min_sweep
+
+        parent = rooted(60, seed=7)
+        level = tree_depths(parent)
+        vals = np.random.default_rng(7).integers(-50, 50, size=60)
+        a = subtree_aggregate_contraction(vals, parent, "min")
+        b = subtree_min_sweep(vals, parent, level)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            subtree_aggregate_contraction(np.array([1]), np.array([0]), "xor")
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            subtree_aggregate_contraction(np.array([1, 2, 3]), np.array([1, 2, 0]))
+
+
+class TestRoundComplexity:
+    def test_log_rounds_on_path(self):
+        # the whole point vs the level sweep: a path of 1024 vertices must
+        # contract in O(log n) rounds, not O(n)
+        n = 1024
+        parent = np.arange(-1, n - 1)
+        parent[0] = 0
+        m = Machine(1, FLAT_UNIT_COSTS)
+        subtree_aggregate_contraction(np.ones(n, dtype=np.int64), parent, "sum", m)
+        # contraction + expansion rounds, a few per halving
+        assert m.totals.parallel_rounds < 30 * int(np.log2(n))
+
+    def test_work_linear(self):
+        parent = rooted(2000, seed=1)
+        m = Machine(1, FLAT_UNIT_COSTS)
+        subtree_aggregate_contraction(np.ones(2000, dtype=np.int64), parent, "sum", m)
+        assert m.totals.work_total < 80 * 2000
+
+
+class TestHypothesis:
+    @given(st.integers(2, 60), st.integers(0, 10**6), st.sampled_from(["min", "max", "sum"]))
+    @settings(max_examples=40, deadline=None)
+    def test_random_trees(self, n, seed, op):
+        parent = rooted(n, seed=seed)
+        vals = np.random.default_rng(seed).integers(-1000, 1000, size=n)
+        out = subtree_aggregate_contraction(vals, parent, op)
+        subs = brute_subtree_sets(parent)
+        fn = {"min": min, "max": max, "sum": sum}[op]
+        np.testing.assert_array_equal(out, [fn(vals[sorted(s)].tolist()) for s in subs])

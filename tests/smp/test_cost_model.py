@@ -1,0 +1,61 @@
+"""Unit tests for the cost-model primitives (Ops, CostTable)."""
+
+import math
+
+import pytest
+
+from repro.smp import FLAT_UNIT_COSTS, SUN_E4500, CostTable, Ops
+
+
+class TestOps:
+    def test_defaults_are_zero(self):
+        ops = Ops()
+        assert ops.contig == 0 and ops.random == 0 and ops.alu == 0
+        assert ops.total == 0
+
+    def test_add_combines_fields(self):
+        a = Ops(contig=1, random=2, alu=3)
+        b = Ops(contig=10, random=20, alu=30)
+        c = a + b
+        assert (c.contig, c.random, c.alu) == (11, 22, 33)
+
+    def test_scaled(self):
+        s = Ops(contig=1, random=2, alu=4).scaled(2.5)
+        assert (s.contig, s.random, s.alu) == (2.5, 5.0, 10.0)
+
+    def test_total(self):
+        assert Ops(contig=1, random=2, alu=3).total == 6
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Ops().contig = 1  # type: ignore[misc]
+
+
+class TestCostTable:
+    def test_op_cost_weighted_sum(self):
+        table = CostTable("t", contig_ns=2, random_ns=10, alu_ns=1,
+                          barrier_base_ns=0, barrier_log_ns=0, spawn_ns=0)
+        assert table.op_cost_ns(Ops(contig=3, random=2, alu=4)) == 3 * 2 + 2 * 10 + 4
+
+    def test_barrier_zero_for_single_processor(self):
+        assert SUN_E4500.barrier_ns(1) == 0.0
+
+    def test_barrier_grows_with_p(self):
+        costs = [SUN_E4500.barrier_ns(p) for p in (2, 4, 8, 12)]
+        assert costs == sorted(costs)
+        assert costs[0] > 0
+
+    def test_barrier_log_model(self):
+        t = CostTable("t", 1, 1, 1, barrier_base_ns=100, barrier_log_ns=10, spawn_ns=0)
+        assert t.barrier_ns(8) == pytest.approx(100 + 10 * 3)
+        assert t.barrier_ns(12) == pytest.approx(100 + 10 * math.log2(12))
+
+    def test_flat_table_everything_unit(self):
+        assert FLAT_UNIT_COSTS.op_cost_ns(Ops(contig=1)) == 1.0
+        assert FLAT_UNIT_COSTS.op_cost_ns(Ops(random=1)) == 1.0
+        assert FLAT_UNIT_COSTS.op_cost_ns(Ops(alu=1)) == 1.0
+        assert FLAT_UNIT_COSTS.barrier_ns(12) == 0.0
+
+    def test_e4500_random_much_costlier_than_contig(self):
+        # the cache-behaviour argument of the paper depends on this ratio
+        assert SUN_E4500.random_ns / SUN_E4500.contig_ns > 5

@@ -1,0 +1,232 @@
+"""Unit tests for the simulated SMP machine accounting."""
+
+import math
+
+import pytest
+
+from repro.smp import (
+    FLAT_UNIT_COSTS,
+    Counters,
+    CostTable,
+    Machine,
+    NullMachine,
+    Ops,
+    e4500,
+    flat_machine,
+    sequential_machine,
+)
+
+
+def flat(p=1):
+    return Machine(p=p, costs=FLAT_UNIT_COSTS)
+
+
+class TestParallelCharging:
+    def test_time_is_ceil_work_over_p(self):
+        m = flat(p=4)
+        m.parallel(10, Ops(contig=1))  # ceil(10/4)=3 items, 1 ns each
+        assert m.totals.time_ns == pytest.approx(3.0)
+
+    def test_exact_division(self):
+        m = flat(p=5)
+        m.parallel(10, Ops(alu=2))
+        assert m.totals.time_ns == pytest.approx(2 * 2)
+
+    def test_rounds_multiply(self):
+        m = flat(p=2)
+        m.parallel(4, Ops(contig=1), rounds=3)
+        assert m.totals.time_ns == pytest.approx(3 * 2)
+        assert m.totals.parallel_rounds == 3
+        assert m.totals.barriers == 3
+
+    def test_work_counts_total_items(self):
+        m = flat(p=8)
+        m.parallel(100, Ops(contig=2, random=3, alu=1))
+        assert m.totals.work_contig == 200
+        assert m.totals.work_random == 300
+        assert m.totals.work_alu == 100
+
+    def test_zero_items_is_free(self):
+        m = flat(p=4)
+        m.parallel(0, Ops(contig=5))
+        assert m.totals.time_ns == 0
+        assert m.totals.parallel_rounds == 0
+
+    def test_barrier_added_per_round(self):
+        t = CostTable("t", 1, 1, 1, barrier_base_ns=100, barrier_log_ns=0, spawn_ns=0)
+        m = Machine(p=4, costs=t)
+        m.parallel(4, Ops(contig=1))
+        assert m.totals.time_ns == pytest.approx(1 + 100)
+
+    def test_no_barrier_single_processor(self):
+        t = CostTable("t", 1, 1, 1, barrier_base_ns=100, barrier_log_ns=0, spawn_ns=0)
+        m = Machine(p=1, costs=t)
+        m.parallel(4, Ops(contig=1))
+        assert m.totals.time_ns == pytest.approx(4)
+
+    def test_span_tracks_critical_path(self):
+        m = flat(p=4)
+        m.parallel(10, Ops(contig=1))
+        assert m.totals.span_items == 3
+
+
+class TestSequentialCharging:
+    def test_full_cost_no_division(self):
+        m = flat(p=8)
+        m.sequential(10, Ops(random=2))
+        assert m.totals.time_ns == pytest.approx(20)
+        assert m.totals.seq_sections == 1
+        assert m.totals.barriers == 0
+
+    def test_zero_is_free(self):
+        m = flat()
+        m.sequential(0, Ops(random=5))
+        assert m.totals.time_ns == 0
+
+
+class TestSpawnBarrier:
+    def test_spawn_only_when_parallel(self):
+        t = CostTable("t", 1, 1, 1, 0, 0, spawn_ns=500)
+        m1 = Machine(p=1, costs=t)
+        m1.spawn()
+        assert m1.totals.time_ns == 0
+        m2 = Machine(p=4, costs=t)
+        m2.spawn()
+        assert m2.totals.time_ns == 500
+
+    def test_explicit_barrier(self):
+        t = CostTable("t", 1, 1, 1, barrier_base_ns=50, barrier_log_ns=0, spawn_ns=0)
+        m = Machine(p=2, costs=t)
+        m.barrier()
+        assert m.totals.time_ns == 50
+        assert m.totals.barriers == 1
+
+
+class TestRegions:
+    def test_region_accumulates(self):
+        m = flat(p=1)
+        with m.region("a"):
+            m.parallel(5, Ops(contig=1))
+        with m.region("b"):
+            m.parallel(7, Ops(contig=1))
+        rep = m.report()
+        assert rep.regions["a"].time_ns == pytest.approx(5)
+        assert rep.regions["b"].time_ns == pytest.approx(7)
+        assert rep.time_ns == pytest.approx(12)
+
+    def test_reentering_region_accumulates(self):
+        m = flat()
+        for _ in range(3):
+            with m.region("x"):
+                m.parallel(2, Ops(contig=1))
+        assert m.report().regions["x"].time_ns == pytest.approx(6)
+
+    def test_nested_regions_dotted_paths(self):
+        m = flat()
+        with m.region("outer"):
+            m.parallel(1, Ops(contig=1))
+            with m.region("inner"):
+                m.parallel(10, Ops(contig=1))
+        rep = m.report()
+        assert rep.regions["outer"].time_ns == pytest.approx(11)
+        assert rep.regions["outer.inner"].time_ns == pytest.approx(10)
+        # only top-level regions in region_times_s
+        assert set(rep.region_times_s()) == {"outer"}
+
+    def test_charges_outside_any_region_counted_in_totals_only(self):
+        m = flat()
+        m.parallel(9, Ops(contig=1))
+        rep = m.report()
+        assert rep.regions == {}
+        assert rep.time_ns == pytest.approx(9)
+
+    def test_region_times_sum_to_at_most_total(self):
+        m = flat()
+        with m.region("a"):
+            m.parallel(3, Ops(contig=1))
+        m.parallel(2, Ops(contig=1))
+        rep = m.report()
+        assert sum(rep.region_times_s().values()) <= rep.time_s + 1e-12
+
+
+class TestReportAndLifecycle:
+    def test_report_is_snapshot(self):
+        m = flat()
+        m.parallel(5, Ops(contig=1))
+        rep = m.report()
+        m.parallel(5, Ops(contig=1))
+        assert rep.time_ns == pytest.approx(5)
+        assert m.totals.time_ns == pytest.approx(10)
+
+    def test_reset(self):
+        m = flat()
+        with m.region("r"):
+            m.parallel(5, Ops(contig=1))
+        m.reset()
+        assert m.totals.time_ns == 0
+        assert m.report().regions == {}
+
+    def test_fork_same_config_empty_counters(self):
+        m = e4500(6)
+        m.parallel(100, Ops(random=1))
+        f = m.fork()
+        assert f.p == 6
+        assert f.costs is m.costs
+        assert f.totals.time_ns == 0
+
+    def test_as_dict_roundtrip_fields(self):
+        m = flat(p=2)
+        with m.region("r"):
+            m.parallel(4, Ops(contig=1, alu=1))
+        d = m.report().as_dict()
+        assert d["p"] == 2
+        assert "r" in d["regions"]
+        assert d["totals"]["work_total"] == 8
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            Machine(p=0)
+
+
+class TestCounters:
+    def test_add_and_delta(self):
+        a = Counters(time_ns=5, work_contig=1, barriers=2)
+        snap = a.snapshot()
+        a.add(Counters(time_ns=3, work_random=4))
+        d = a.delta_since(snap)
+        assert d.time_ns == pytest.approx(3)
+        assert d.work_random == 4
+        assert d.barriers == 0
+
+    def test_time_s(self):
+        assert Counters(time_ns=2.5e9).time_s == pytest.approx(2.5)
+
+
+class TestNullMachine:
+    def test_records_nothing(self):
+        m = NullMachine()
+        m.spawn()
+        m.barrier()
+        m.parallel(1000, Ops(random=10))
+        m.sequential(1000, Ops(random=10))
+        with m.region("x"):
+            m.parallel(5, Ops(contig=1))
+        assert m.totals.time_ns == 0
+        assert m.report().regions == {}
+
+
+class TestPresets:
+    def test_e4500_bounds(self):
+        assert e4500(12).p == 12
+        with pytest.raises(ValueError):
+            e4500(15)
+        with pytest.raises(ValueError):
+            e4500(0)
+
+    def test_sequential_machine(self):
+        assert sequential_machine().p == 1
+
+    def test_flat_machine(self):
+        m = flat_machine(3)
+        m.parallel(3, Ops(random=1))
+        assert m.totals.time_ns == pytest.approx(1)

@@ -1,0 +1,182 @@
+"""Tests for the real-thread (pthreads-analogue) executor."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.primitives import connected_components
+from repro.smp.threads import (
+    ThreadTeam,
+    threaded_connected_components,
+    threaded_prefix_sum,
+)
+
+
+class TestThreadTeam:
+    def test_parallel_for_covers_range_exactly_once(self):
+        with ThreadTeam(4) as team:
+            hits = np.zeros(103, dtype=np.int64)
+
+            def body(rank, lo, hi):
+                hits[lo:hi] += 1
+
+            team.parallel_for(103, body)
+            assert (hits == 1).all()
+
+    def test_blocks_are_contiguous_and_balanced(self):
+        team = ThreadTeam(4)
+        try:
+            blocks = [team._block(r, 10) for r in range(4)]
+            assert blocks == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        finally:
+            team.close()
+
+    def test_rank_visible_to_body(self):
+        with ThreadTeam(3) as team:
+            seen = np.full(3, -1, dtype=np.int64)
+
+            def body(rank, lo, hi):
+                seen[rank] = rank
+
+            team.parallel_for(30, body)
+            assert seen.tolist() == [0, 1, 2]
+
+    def test_reusable_across_many_calls(self):
+        with ThreadTeam(2) as team:
+            acc = np.zeros(10, dtype=np.int64)
+
+            def body(rank, lo, hi):
+                acc[lo:hi] += 1
+
+            for _ in range(25):
+                team.parallel_for(10, body)
+            assert (acc == 25).all()
+
+    def test_exceptions_propagate(self):
+        with ThreadTeam(2) as team:
+            def bad(rank, lo, hi):
+                raise ValueError("boom")
+
+            with pytest.raises(ValueError, match="boom"):
+                team.parallel_for(4, bad)
+            # team still usable afterwards
+            ok = np.zeros(4, dtype=np.int64)
+
+            def good(rank, lo, hi):
+                ok[lo:hi] = 1
+
+            team.parallel_for(4, good)
+            assert (ok == 1).all()
+
+    def test_empty_range(self):
+        with ThreadTeam(3) as team:
+            called = []
+
+            def body(rank, lo, hi):  # pragma: no cover - must not run
+                called.append(rank)
+
+            team.parallel_for(0, body)
+            assert called == []
+
+    def test_more_workers_than_items(self):
+        with ThreadTeam(8) as team:
+            hits = np.zeros(3, dtype=np.int64)
+
+            def body(rank, lo, hi):
+                hits[lo:hi] += 1
+
+            team.parallel_for(3, body)
+            assert (hits == 1).all()
+
+    def test_close_idempotent_and_rejects_use(self):
+        team = ThreadTeam(2)
+        team.close()
+        team.close()
+        with pytest.raises(RuntimeError):
+            team.parallel_for(4, lambda r, a, b: None)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(0)
+
+
+class TestThreadedPrefixSum:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    @pytest.mark.parametrize("n", [0, 1, 5, 1000])
+    def test_matches_cumsum(self, p, n):
+        rng = np.random.default_rng(p * 100 + n)
+        x = rng.integers(-50, 50, size=n)
+        with ThreadTeam(p) as team:
+            np.testing.assert_array_equal(threaded_prefix_sum(x, team), np.cumsum(x))
+
+    def test_floats(self):
+        x = np.random.default_rng(1).normal(size=500)
+        with ThreadTeam(4) as team:
+            np.testing.assert_allclose(
+                threaded_prefix_sum(x, team), np.cumsum(x), rtol=1e-10
+            )
+
+
+class TestThreadedConnectivity:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_vectorized_sv(self, p):
+        for seed in range(4):
+            g = gen.random_gnm(120, 200, seed=seed)
+            ref = connected_components(g).labels
+            with ThreadTeam(p) as team:
+                got = threaded_connected_components(g.n, g.u, g.v, team)
+            # both label every vertex with its component minimum
+            np.testing.assert_array_equal(got, ref)
+
+    def test_empty_and_edgeless(self):
+        with ThreadTeam(2) as team:
+            assert threaded_connected_components(0, np.array([]), np.array([]), team).size == 0
+            out = threaded_connected_components(5, np.array([]), np.array([]), team)
+            np.testing.assert_array_equal(out, np.arange(5))
+
+    def test_path_graph(self):
+        g = gen.path_graph(50)
+        with ThreadTeam(4) as team:
+            labels = threaded_connected_components(g.n, g.u, g.v, team)
+        assert (labels == 0).all()
+
+
+class TestThreadedBFS:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_levels_match_vectorized(self, p):
+        from repro.primitives import bfs
+        from repro.smp.threads import threaded_bfs
+
+        for seed in range(3):
+            g = gen.random_connected_gnm(150, 450, seed=seed)
+            ref = bfs(g, root=0)
+            with ThreadTeam(p) as team:
+                parent, level = threaded_bfs(g, 0, team)
+            np.testing.assert_array_equal(level, ref.level)
+
+    def test_parents_form_valid_bfs_tree(self):
+        from repro.graph.validate import is_bfs_tree
+        from repro.smp.threads import threaded_bfs
+
+        g = gen.random_connected_gnm(200, 500, seed=5)
+        with ThreadTeam(4) as team:
+            parent, level = threaded_bfs(g, 0, team)
+        assert is_bfs_tree(g, parent, level)
+
+    def test_disconnected_unreached(self):
+        from repro.graph import Graph
+        from repro.smp.threads import threaded_bfs
+
+        g = Graph(5, [0, 3], [1, 4])
+        with ThreadTeam(2) as team:
+            parent, level = threaded_bfs(g, 0, team)
+        assert parent[3] == -1 and level[4] == -1
+        assert level[1] == 1
+
+    def test_path_levels(self):
+        from repro.smp.threads import threaded_bfs
+
+        g = gen.path_graph(30)
+        with ThreadTeam(3) as team:
+            parent, level = threaded_bfs(g, 0, team)
+        np.testing.assert_array_equal(level, np.arange(30))

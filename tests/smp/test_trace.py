@@ -1,0 +1,102 @@
+"""Tests for trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import tv_opt_bcc, tv_smp_bcc
+from repro.graph import generators as gen
+from repro.smp import FLAT_UNIT_COSTS, SUN_E4500, Machine, Ops
+from repro.smp.trace import TraceEvent, TraceMachine, evaluate_trace
+
+
+class TestRecording:
+    def test_events_recorded_with_paths(self):
+        m = TraceMachine(p=4)
+        with m.region("outer"):
+            m.parallel(10, Ops(contig=1))
+            with m.region("inner"):
+                m.sequential(3, Ops(alu=1))
+        m.spawn()
+        kinds = [(e.kind, e.path) for e in m.trace]
+        assert kinds == [
+            ("parallel", "outer"),
+            ("sequential", "outer.inner"),
+            ("spawn", ""),
+        ]
+
+    def test_zero_charges_not_recorded(self):
+        m = TraceMachine(p=2)
+        m.parallel(0, Ops(contig=1))
+        m.sequential(0, Ops(contig=1))
+        assert m.trace == []
+
+    def test_charges_like_a_normal_machine(self):
+        g = gen.random_connected_gnm(200, 600, seed=1)
+        direct = Machine(6, SUN_E4500)
+        tv_opt_bcc(g, direct)
+        traced = TraceMachine(p=6, costs=SUN_E4500)
+        tv_opt_bcc(g, traced)
+        assert traced.time_s == pytest.approx(direct.time_s)
+
+
+class TestReplay:
+    @pytest.mark.parametrize("algo", [tv_opt_bcc, tv_smp_bcc])
+    def test_same_p_replay_is_exact(self, algo):
+        g = gen.random_connected_gnm(300, 900, seed=2)
+        traced = TraceMachine(p=8)
+        algo(g, traced)
+        rep = evaluate_trace(traced.trace, 8, traced.costs)
+        assert rep.time_s == pytest.approx(traced.time_s, rel=1e-12)
+        direct_regions = traced.report().region_times_s()
+        replay_regions = rep.region_times_s()
+        assert set(direct_regions) == set(replay_regions)
+        for k in direct_regions:
+            assert replay_regions[k] == pytest.approx(direct_regions[k], rel=1e-12)
+
+    def test_cross_p_replay_close_to_direct(self):
+        g = gen.random_connected_gnm(400, 1600, seed=3)
+        traced = TraceMachine(p=12)
+        tv_opt_bcc(g, traced)
+        for p in (1, 2, 4, 6):
+            rep = evaluate_trace(traced.trace, p, traced.costs)
+            direct = Machine(p, SUN_E4500)
+            tv_opt_bcc(g, direct)
+            assert rep.time_s == pytest.approx(direct.time_s, rel=0.05), p
+
+    def test_replay_monotone_in_p(self):
+        g = gen.random_connected_gnm(300, 1200, seed=4)
+        traced = TraceMachine(p=12)
+        tv_opt_bcc(g, traced)
+        times = [evaluate_trace(traced.trace, p, traced.costs).time_s
+                 for p in (1, 2, 4, 8, 12)]
+        assert times == sorted(times, reverse=True)
+
+    def test_work_independent_of_replay_p(self):
+        g = gen.random_connected_gnm(200, 600, seed=5)
+        traced = TraceMachine(p=12, costs=FLAT_UNIT_COSTS)
+        tv_opt_bcc(g, traced)
+        w1 = evaluate_trace(traced.trace, 1, FLAT_UNIT_COSTS).totals.work_total
+        w12 = evaluate_trace(traced.trace, 12, FLAT_UNIT_COSTS).totals.work_total
+        assert w1 == pytest.approx(w12)
+
+    def test_costs_swap(self):
+        # a trace can be re-priced under a different cost table
+        m = TraceMachine(p=2, costs=SUN_E4500)
+        m.parallel(100, Ops(random=1))
+        flat = evaluate_trace(m.trace, 2, FLAT_UNIT_COSTS)
+        assert flat.time_ns == pytest.approx(50.0)  # ceil(100/2) * 1ns
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            evaluate_trace([], 0, SUN_E4500)
+
+    def test_barrier_and_spawn_events(self):
+        m = TraceMachine(p=4)
+        m.barrier()
+        m.spawn()
+        rep1 = evaluate_trace(m.trace, 1, m.costs)
+        assert rep1.time_ns == 0.0  # no barriers/spawns at p=1
+        rep4 = evaluate_trace(m.trace, 4, m.costs)
+        assert rep4.time_ns == pytest.approx(
+            m.costs.barrier_ns(4) + m.costs.spawn_ns
+        )

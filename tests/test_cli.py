@@ -1,0 +1,101 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import Graph, generators as gen
+from repro.graph.io import read_edgelist, write_edgelist, write_metis
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    g = gen.random_connected_gnm(60, 200, seed=1)
+    path = tmp_path / "g.edges"
+    write_edgelist(g, path)
+    return str(path), g
+
+
+class TestBcc:
+    def test_basic(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["bcc", path]) == 0
+        out = capsys.readouterr().out
+        assert f"n={g.n} m={g.m}" in out
+        assert "biconnected components: 1" in out
+
+    def test_with_machine(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["bcc", path, "--p", "12", "--algorithm", "tv-opt"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated E4500 time at p=12" in out
+        assert "Connected-components" in out
+
+    def test_labels_out(self, graph_file, tmp_path):
+        path, g = graph_file
+        labels_path = tmp_path / "labels.txt"
+        assert main(["bcc", path, "--labels-out", str(labels_path)]) == 0
+        labels = np.loadtxt(labels_path, dtype=np.int64)
+        assert labels.shape == (g.m,)
+
+    def test_all_algorithms(self, graph_file, capsys):
+        path, _ = graph_file
+        for algo in ("sequential", "tv-smp", "tv-opt", "tv-filter"):
+            assert main(["bcc", path, "--algorithm", algo]) == 0
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family,needs_m", [
+        ("gnm", True), ("connected-gnm", True), ("tree", False),
+        ("path", False), ("cycle", False), ("star", False), ("complete", False),
+    ])
+    def test_families(self, tmp_path, family, needs_m):
+        out = tmp_path / f"{family}.edges"
+        argv = ["generate", family, str(out), "--n", "20"]
+        if needs_m:
+            argv += ["--m", "30"]
+        assert main(argv) == 0
+        g = read_edgelist(out)
+        assert g.n == 20
+
+    def test_rmat(self, tmp_path):
+        out = tmp_path / "r.edges"
+        assert main(["generate", "rmat", str(out), "--n", "64", "--m", "256"]) == 0
+        g = read_edgelist(out)
+        assert g.n == 64
+
+
+class TestConvertInfoAugment:
+    def test_convert_roundtrip(self, graph_file, tmp_path):
+        path, g = graph_file
+        metis = tmp_path / "g.metis"
+        dimacs = tmp_path / "g.dimacs"
+        assert main(["convert", path, str(metis)]) == 0
+        assert main(["convert", str(metis), str(dimacs)]) == 0
+        back = tmp_path / "back.edges"
+        assert main(["convert", str(dimacs), str(back)]) == 0
+        assert read_edgelist(back) == g
+
+    def test_info(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert f"vertices        : {g.n}" in out
+        assert "connected       : True" in out
+
+    def test_augment(self, tmp_path, capsys):
+        g = gen.path_graph(12)
+        src = tmp_path / "p.edges"
+        dst = tmp_path / "p2.edges"
+        write_edgelist(g, src)
+        assert main(["augment", str(src), str(dst)]) == 0
+        g2 = read_edgelist(dst)
+        from repro.core import tarjan_bcc
+
+        res = tarjan_bcc(g2)
+        assert res.num_components == 1
+        assert res.articulation_points().size == 0
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["info", str(tmp_path / "g.xyz")])
