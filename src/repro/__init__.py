@@ -25,7 +25,9 @@ from .api import (
     biconnected_components,
     bridges,
     count_biconnected_components_bfs,
+    describe_algorithm,
     is_biconnected,
+    list_algorithms,
 )
 from .core.blockcut import BlockCutTree, augment_to_biconnected, block_cut_tree
 from .core.result import BCCResult
@@ -54,6 +56,8 @@ __all__ = [
     "bridges",
     "is_biconnected",
     "count_biconnected_components_bfs",
+    "list_algorithms",
+    "describe_algorithm",
     "BCCResult",
     "BlockCutTree",
     "block_cut_tree",

@@ -1,45 +1,121 @@
-"""Public API: one entry point over all four algorithms.
+"""Public API: one entry point over all registered algorithms.
 
 >>> import repro
 >>> g = repro.generators.random_connected_gnm(1000, 5000, seed=7)
 >>> res = repro.biconnected_components(g, algorithm="tv-filter")
 >>> res.num_components >= 1
 True
+
+Custom hybrids compose registry strategies with no new code::
+
+    res = repro.biconnected_components(
+        g, algorithm="custom",
+        strategies={"lowhigh": "rmq", "cc": "pruned"},
+    )
 """
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
-from .core.filter import count_biconnected_components_bfs, tv_filter_bcc
+from .core import pipeline as _pipeline
+from .core.filter import count_biconnected_components_bfs
 from .core.result import BCCResult
 from .core.tarjan import tarjan_bcc
-from .core.tv import tv_bcc
 from .graph import Graph
 from .smp import Machine
 
 __all__ = [
     "ALGORITHMS",
     "biconnected_components",
+    "list_algorithms",
+    "describe_algorithm",
     "articulation_points",
     "bridges",
     "is_biconnected",
     "count_biconnected_components_bfs",
 ]
 
-#: Algorithm registry: name -> callable(graph, machine, **kw) -> BCCResult.
-ALGORITHMS = {
-    "sequential": lambda g, m, **kw: tarjan_bcc(g, m),
-    "tv-smp": lambda g, m, **kw: tv_bcc(g, m, variant="smp", **kw),
-    "tv-opt": lambda g, m, **kw: tv_bcc(g, m, variant="opt", **kw),
-    "tv-filter": lambda g, m, **kw: tv_filter_bcc(g, m, **kw),
-}
+#: Base spec the ``"custom"`` algorithm starts from before ``strategies``
+#: overrides are applied.
+CUSTOM_BASE = "tv-opt"
+
+
+def _sequential_runner(g, machine=None, *, strategies=None, **kwargs):
+    rejected = sorted(kwargs)
+    if strategies is not None:
+        rejected.append("strategies")
+    if rejected:
+        raise TypeError(
+            f"algorithm 'sequential' accepts no algorithm options, got {rejected}"
+        )
+    return tarjan_bcc(g, machine)
+
+
+def _pipeline_runner(spec_name: str, result_name: str | None = None):
+    def run(g, machine=None, *, strategies=None, **kwargs):
+        return _pipeline.run_pipeline(
+            g,
+            spec_name,
+            machine,
+            strategies=strategies,
+            algorithm_name=result_name,
+            **kwargs,
+        )
+
+    return run
+
+
+def _build_algorithms():
+    algos = {"sequential": _sequential_runner}
+    for name in _pipeline.list_algorithms():
+        algos[name] = _pipeline_runner(name)
+    algos["custom"] = _pipeline_runner(CUSTOM_BASE, "custom")
+    return algos
+
+
+#: Algorithm registry: name -> callable(graph, machine, *, strategies=None,
+#: **knobs) -> BCCResult.  Pipeline entries are built from the
+#: :mod:`repro.core.pipeline` registry; ``"custom"`` starts from
+#: :data:`CUSTOM_BASE` and exists to be overridden via ``strategies``.
+ALGORITHMS = _build_algorithms()
+
+
+def list_algorithms() -> list[str]:
+    """Names accepted by :func:`biconnected_components`."""
+    return list(ALGORITHMS)
+
+
+def describe_algorithm(
+    algorithm: str,
+    strategies: Mapping[str, str] | None = None,
+    **knobs,
+) -> str:
+    """Human-readable resolved pipeline for ``algorithm`` (CLI ``--explain``)."""
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    if algorithm == "sequential":
+        return (
+            "sequential — Hopcroft–Tarjan iterative DFS baseline "
+            "(no pipeline stages; accepts no options)"
+        )
+    base = CUSTOM_BASE if algorithm == "custom" else algorithm
+    text = _pipeline.describe_algorithm(base, strategies, **knobs)
+    if algorithm == "custom":
+        text = f"custom — user-composed hybrid over base {CUSTOM_BASE}:\n" + text
+    return text
 
 
 def biconnected_components(
     g: Graph,
     algorithm: str = "tv-filter",
     machine: Machine | None = None,
+    *,
+    strategies: Mapping[str, str] | None = None,
     **kwargs,
 ) -> BCCResult:
     """Biconnected components of ``g``.
@@ -51,14 +127,19 @@ def biconnected_components(
         forests of components); self-loops/multi-edges were already
         normalized away by :class:`~repro.graph.edgelist.Graph`.
     algorithm:
-        ``"sequential"`` (Tarjan), ``"tv-smp"``, ``"tv-opt"`` or
-        ``"tv-filter"`` (the default — the paper's best performer).
+        ``"sequential"`` (Tarjan), ``"tv-smp"``, ``"tv-opt"``,
+        ``"tv-filter"`` (the default — the paper's best performer) or
+        ``"custom"`` (a hybrid over :data:`CUSTOM_BASE`, meant to be used
+        with ``strategies``).
     machine:
         Optional simulated SMP; pass e.g. ``repro.e4500(p=12)`` to obtain a
         :class:`~repro.smp.machine.MachineReport` in ``result.report``.
+    strategies:
+        Per-stage strategy overrides, e.g. ``{"lowhigh": "rmq",
+        "cc": "pruned"}`` — see :func:`repro.core.pipeline.list_strategies`.
     kwargs:
-        Algorithm-specific knobs (``lowhigh_method``, ``list_ranking``,
-        ``fallback_ratio``, ...).
+        Strategy knobs (``lowhigh_method``, ``list_ranking``,
+        ``fallback_ratio``, ...).  Unknown knobs raise ``TypeError``.
     """
     try:
         fn = ALGORITHMS[algorithm]
@@ -66,7 +147,7 @@ def biconnected_components(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         ) from None
-    return fn(g, machine, **kwargs)
+    return fn(g, machine, strategies=strategies, **kwargs)
 
 
 def articulation_points(

@@ -10,7 +10,11 @@ Experiments (see DESIGN.md §3.3 for the index):
   abl-spanning  ablation: SV vs traversal spanning trees
   abl-auxcc     ablation (beyond paper): full vs leaf-pruned aux CC
   abl-lowhigh   ablation: Low-high via level sweep vs RMQ
+  abl-filter    ablation: edge filtering on vs off (tv-filter base)
   abl-fallback  §4: m/n sweep around the m = 4n fallback threshold
+
+The abl-* experiments enumerate the stage/strategy registry
+(repro.core.pipeline): newly registered strategies appear automatically.
   pathological  §4: chain (d = O(n)) vs random (small d)
   dense         Woo–Sahni regime: 70%/90% of K_n
   all           run everything
@@ -111,6 +115,14 @@ def _abl_auxcc(args):
 def _abl_lowhigh(args):
     rows = runner.run_ablation_lowhigh(n=args.n, seed=args.seed)
     _emit(report.format_ablation(rows, "Ablation — Low-high aggregation"), args)
+    return rows
+
+
+@experiment("abl-filter")
+def _abl_filter(args):
+    rows = runner.run_ablation("filter", n=args.n, seed=args.seed)
+    _emit(report.format_ablation(
+        rows, "Ablation — edge filtering on vs off (§4)"), args)
     return rows
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core import tarjan_bcc, tv_bcc, tv_filter_bcc
+from ..core import pipeline, tarjan_bcc, tv_bcc, tv_filter_bcc
 from ..core.filter import FilterStats, count_biconnected_components_bfs
 from ..graph import Graph, generators as gen
 from ..smp import PAPER_PROCESSOR_GRID, Machine, e4500, sequential_machine
@@ -32,6 +32,7 @@ __all__ = [
     "FilterClaimRow",
     "run_filter_claims",
     "AblationRow",
+    "run_ablation",
     "run_ablation_euler",
     "run_ablation_spanning",
     "run_ablation_auxcc",
@@ -54,12 +55,24 @@ def default_n() -> int:
     return int(os.environ.get("REPRO_BENCH_N", "100000"))
 
 
+def _pipeline_fn(spec, **knobs):
+    def fn(g, m):
+        return pipeline.run_pipeline(g, spec, m, **knobs)
+
+    return fn
+
+
 def _algorithms(include_sequential: bool = False):
-    algos = [
-        ("tv-smp", lambda g, m: tv_bcc(g, m, variant="smp")),
-        ("tv-opt", lambda g, m: tv_bcc(g, m, variant="opt")),
-        ("tv-filter", lambda g, m: tv_filter_bcc(g, m, fallback_ratio=None)),
-    ]
+    """The figure grid, straight from the algorithm registry.
+
+    Fallbacks are disabled so every registered algorithm shows its own
+    step profile at every density (the paper's figures do the same).
+    """
+    algos = []
+    for name in pipeline.list_algorithms():
+        spec = pipeline.get_algorithm(name)
+        knobs = {"fallback_ratio": None} if spec.fallback_to is not None else {}
+        algos.append((name, _pipeline_fn(spec, **knobs)))
     if include_sequential:
         algos.insert(0, ("sequential", lambda g, m: tarjan_bcc(g, m)))
     return algos
@@ -140,16 +153,9 @@ def run_fig3(
     return cells
 
 
-#: Step order of the paper's Fig. 4 stacked bars.
-FIG4_STEPS = (
-    "Filtering",
-    "Spanning-tree",
-    "Euler-tour",
-    "Root-tree",
-    "Low-high",
-    "Label-edge",
-    "Connected-components",
-)
+#: Step order of the paper's Fig. 4 stacked bars, derived from the stage
+#: registry (canonical stage regions + strategy extras such as Root-tree).
+FIG4_STEPS = pipeline.fig4_steps()
 
 
 @dataclass
@@ -292,90 +298,100 @@ def _timed(label, fn, g, p, **extra) -> AblationRow:
     return AblationRow(label, g.n, g.m, p, machine.time_s, wall, extra)
 
 
+#: Which algorithm spec(s) each stage is ablated against by default.
+ABLATION_BASES = {"cc": ("tv-opt", "tv-filter"), "filter": ("tv-filter",)}
+
+#: Per-stage default edge density (the aux-CC comparison wants a denser
+#: instance so the pruned/full gap is visible at bench scale).
+ABLATION_DENSITIES = {"cc": 12}
+
+
+def run_ablation(
+    stage: str,
+    n: int | None = None,
+    p: int = 12,
+    seed: int = 42,
+    density: int | None = None,
+    bases=None,
+) -> list[AblationRow]:
+    """Ablate one pipeline stage by enumerating the strategy registry.
+
+    For each base algorithm and each registered strategy of ``stage``
+    (times its declared ``ablate`` knob grid), the full pipeline runs with
+    just that stage swapped; incompatible downstream stages are repaired
+    (e.g. an unrooted SV spanning tree forces the list-ranked Euler tour).
+    New strategies registered for ``stage`` get ablation coverage for
+    free.  Fallbacks are disabled so the swapped stage actually runs.
+    """
+    if stage not in pipeline.STAGE_ORDER:
+        raise ValueError(
+            f"unknown pipeline stage {stage!r}; stages: {list(pipeline.STAGE_ORDER)}"
+        )
+    n = n or default_n()
+    density = density if density is not None else ABLATION_DENSITIES.get(stage, 8)
+    bases = tuple(bases) if bases else ABLATION_BASES.get(stage, ("tv-opt",))
+    g = gen.random_connected_gnm(n, density * n, seed=seed)
+    rows: list[AblationRow] = []
+    for base in bases:
+        spec = pipeline.get_algorithm(base)
+        for strat in pipeline.list_strategies(stage):
+            try:
+                resolved = pipeline.resolve_strategies(
+                    spec, {stage: strat.name}, repair=True
+                )
+            except ValueError:
+                continue  # no compatible pipeline around this strategy
+            if resolved.get(stage) != strat.name:
+                continue  # repair replaced the strategy under test itself
+            for combo in strat.ablate or ({},):
+                knobs = dict(combo)
+                if spec.fallback_to is not None:
+                    knobs["fallback_ratio"] = None
+                suffix = "".join(f"[{v}]" for v in combo.values())
+                label = f"{base} {stage}={strat.name}{suffix}"
+                machine = e4500(p)
+                t0 = time.perf_counter()
+                pipeline.run_pipeline(g, spec, machine, strategies=resolved, **knobs)
+                wall = time.perf_counter() - t0
+                region = spec.regions.get(stage, strat.region)
+                regions = [region] if region else list(strat.extra_regions)
+                rts = machine.report().region_times_s()
+                extra = {
+                    "stage": stage,
+                    "strategy": strat.name,
+                    "base": base,
+                    "strategies": dict(resolved),
+                    "stage_region_s": float(sum(rts.get(r, 0.0) for r in regions)),
+                    **combo,
+                }
+                rows.append(AblationRow(label, g.n, g.m, p, machine.time_s, wall, extra))
+    return rows
+
+
 def run_ablation_euler(n: int | None = None, p: int = 12, seed: int = 42) -> list[AblationRow]:
     """§3.2 design choice: tour + list ranking vs DFS-ordered numbering."""
-    from ..primitives import (
-        euler_tour_numbering,
-        numbering_from_parents,
-        traversal_spanning_tree,
-    )
-
-    n = n or default_n()
-    g = gen.random_tree(n, seed=seed)
-    trav = traversal_spanning_tree(g, root=0)
-    rows = [
-        _timed(
-            "tour+wyllie (TV-SMP)",
-            lambda m: euler_tour_numbering(
-                g.n, g.u, g.v, m, roots=np.array([0]), list_ranking="wyllie"
-            ),
-            g, p,
-        ),
-        _timed(
-            "tour+helman-jaja",
-            lambda m: euler_tour_numbering(
-                g.n, g.u, g.v, m, roots=np.array([0]), list_ranking="helman-jaja"
-            ),
-            g, p,
-        ),
-        _timed(
-            "dfs-numbering (TV-opt)",
-            lambda m: numbering_from_parents(trav.parent, trav.level, trav.parent_edge, m),
-            g, p,
-        ),
-    ]
-    return rows
+    return run_ablation("euler", n=n, p=p, seed=seed)
 
 
 def run_ablation_spanning(
     n: int | None = None, density: int = 8, p: int = 12, seed: int = 42
 ) -> list[AblationRow]:
     """§3.2 design choice: SV spanning tree vs traversal spanning tree."""
-    from ..primitives import hcs_spanning_tree, sv_spanning_tree, traversal_spanning_tree
-
-    n = n or default_n()
-    g = gen.random_connected_gnm(n, density * n, seed=seed)
-    return [
-        _timed("sv-textbook (TV-SMP)", lambda m: sv_spanning_tree(g, m, mode="textbook"), g, p),
-        _timed("sv-engineered", lambda m: sv_spanning_tree(g, m, mode="engineered"), g, p),
-        _timed("hcs", lambda m: hcs_spanning_tree(g, m), g, p),
-        _timed("traversal (TV-opt)", lambda m: traversal_spanning_tree(g, 0, m), g, p),
-    ]
+    return run_ablation("spanning", n=n, p=p, seed=seed, density=density)
 
 
 def run_ablation_auxcc(
     n: int | None = None, density: int = 12, p: int = 12, seed: int = 42
 ) -> list[AblationRow]:
     """Beyond-paper: full aux-graph CC vs leaf-pruned CC."""
-    n = n or default_n()
-    g = gen.random_connected_gnm(n, density * n, seed=seed)
-    return [
-        _timed("tv-opt aux_cc=full (paper)",
-               lambda m: tv_bcc(g, m, variant="opt", aux_cc="full"), g, p),
-        _timed("tv-opt aux_cc=pruned",
-               lambda m: tv_bcc(g, m, variant="opt", aux_cc="pruned"), g, p),
-        _timed("tv-filter aux_cc=full (paper)",
-               lambda m: tv_filter_bcc(g, m, fallback_ratio=None, aux_cc="full"), g, p),
-        _timed("tv-filter aux_cc=pruned",
-               lambda m: tv_filter_bcc(g, m, fallback_ratio=None, aux_cc="pruned"), g, p),
-    ]
+    return run_ablation("cc", n=n, p=p, seed=seed, density=density)
 
 
 def run_ablation_lowhigh(
     n: int | None = None, density: int = 8, p: int = 12, seed: int = 42
 ) -> list[AblationRow]:
     """Low-high aggregation: level sweep vs preorder-interval RMQ."""
-    n = n or default_n()
-    g = gen.random_connected_gnm(n, density * n, seed=seed)
-    return [
-        _timed("tv-opt lowhigh=sweep",
-               lambda m: tv_bcc(g, m, variant="opt", lowhigh_method="sweep"), g, p),
-        _timed("tv-opt lowhigh=rmq",
-               lambda m: tv_bcc(g, m, variant="opt", lowhigh_method="rmq"), g, p),
-        _timed("tv-opt lowhigh=contraction",
-               lambda m: tv_bcc(g, m, variant="opt", lowhigh_method="contraction"),
-               g, p),
-    ]
+    return run_ablation("lowhigh", n=n, p=p, seed=seed, density=density)
 
 
 def run_fallback_sweep(

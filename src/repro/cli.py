@@ -19,7 +19,7 @@ import sys
 
 import numpy as np
 
-from .api import ALGORITHMS, biconnected_components
+from .api import ALGORITHMS, biconnected_components, describe_algorithm
 from .core.blockcut import augment_to_biconnected, block_cut_tree
 from .graph import Graph, generators as gen
 from .graph.io import (
@@ -82,10 +82,37 @@ GENERATORS = {
 }
 
 
+def _parse_strategies(pairs) -> dict:
+    """Parse repeated ``--strategy STAGE=NAME`` options into a dict."""
+    out = {}
+    for item in pairs or ():
+        stage, sep, name = item.partition("=")
+        if not sep or not stage or not name:
+            raise SystemExit(
+                f"--strategy expects STAGE=NAME (e.g. lowhigh=rmq), got {item!r}"
+            )
+        out[stage] = name
+    return out
+
+
 def cmd_bcc(args) -> int:
+    strategies = _parse_strategies(args.strategy) or None
+    if args.explain:
+        try:
+            print(describe_algorithm(args.algorithm, strategies=strategies))
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        return 0
+    if not args.graph:
+        raise SystemExit("bcc: a graph file is required (or use --explain)")
     g = _read(args.graph)
     machine = e4500(args.p) if args.p else None
-    res = biconnected_components(g, algorithm=args.algorithm, machine=machine)
+    try:
+        res = biconnected_components(
+            g, algorithm=args.algorithm, machine=machine, strategies=strategies
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
     print(f"n={g.n} m={g.m} algorithm={res.algorithm}")
     print(f"biconnected components: {res.num_components}")
     sizes = res.component_sizes()
@@ -103,7 +130,18 @@ def cmd_bcc(args) -> int:
     return 0
 
 
+#: Families parameterized by a target edge count: --m is mandatory for
+#: these (the default --m 0 would yield a degenerate instance).
+EDGE_COUNT_FAMILIES = ("connected-gnm", "gnm", "rmat")
+
+
 def cmd_generate(args) -> int:
+    if args.family in EDGE_COUNT_FAMILIES and args.m <= 0:
+        raise SystemExit(
+            f"generate {args.family}: --m (target edge count) is required for "
+            f"edge-count families {list(EDGE_COUNT_FAMILIES)} and must be "
+            f"positive, e.g. --n {args.n} --m {4 * args.n}"
+        )
     g = GENERATORS[args.family](args)
     _write(g, args.out)
     print(f"wrote {args.family} graph n={g.n} m={g.m} to {args.out}")
@@ -157,8 +195,14 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("bcc", help="compute biconnected components")
-    p.add_argument("graph")
+    p.add_argument("graph", nargs="?", default=None,
+                   help="graph file (optional with --explain)")
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="tv-filter")
+    p.add_argument("--strategy", action="append", default=None, metavar="STAGE=NAME",
+                   help="override one pipeline stage strategy (repeatable), "
+                        "e.g. --strategy lowhigh=rmq --strategy cc=pruned")
+    p.add_argument("--explain", action="store_true",
+                   help="print the resolved stage/strategy pipeline and exit")
     p.add_argument("--p", type=int, default=0,
                    help="simulate this many E4500 processors (0: off)")
     p.add_argument("--labels-out", default=None,

@@ -19,6 +19,12 @@ graph would have carried, disappears.  "The denser the graph becomes, the
 more edges are filtered out."  For very sparse graphs the paper falls back
 to TV-opt when m <= 4n; the fallback ratio is a knob here (and the
 subject of the ``abl-fallback`` bench).
+
+The algorithm itself is pure :class:`~repro.core.pipeline.AlgorithmSpec`
+data (BFS spanning + forest filter + the shared TV-opt tail, with the
+fallback declared as data); the step bodies live in
+:mod:`repro.core.strategies`.  This module keeps the historical entry
+point plus the Theorem-2 counting corollary.
 """
 
 from __future__ import annotations
@@ -28,109 +34,36 @@ import numpy as np
 from ..graph import Graph
 from ..primitives.connectivity import shiloach_vishkin
 from ..primitives.spanning_tree import bfs_spanning_tree
-from ..primitives.tree_computations import numbering_from_parents
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, NullMachine
+from .pipeline import run_pipeline
 from .result import BCCResult
-from .tv import label_edges_via_aux, tv_bcc
+from .strategies import FilterStats
 
 __all__ = ["tv_filter_bcc", "FilterStats", "count_biconnected_components_bfs"]
-
-
-class FilterStats:
-    """What the Filtering step did (exposed for the filter-claims bench)."""
-
-    __slots__ = ("m", "tree_edges", "forest_edges", "filtered_edges", "bfs_levels")
-
-    def __init__(self, m, tree_edges, forest_edges, filtered_edges, bfs_levels):
-        self.m = m
-        self.tree_edges = tree_edges
-        self.forest_edges = forest_edges
-        self.filtered_edges = filtered_edges
-        self.bfs_levels = bfs_levels
-
-    @property
-    def guaranteed_minimum_filtered(self) -> int:
-        """The paper's lower bound: max(m - 2(n-1), 0) for connected G."""
-        n_minus_1 = self.tree_edges  # |T| = n - #components
-        return max(self.m - 2 * n_minus_1, 0)
 
 
 def tv_filter_bcc(
     g: Graph,
     machine: Machine | None = None,
-    *,
-    fallback_ratio: float | None = 4.0,
-    lowhigh_method: str = "sweep",
-    aux_cc: str = "full",
-    stats_out: list | None = None,
+    **knobs,
 ) -> BCCResult:
     """Biconnected components via edge filtering (paper Algorithm 2).
 
-    Parameters
-    ----------
+    Keyword knobs (forwarded to
+    :func:`~repro.core.pipeline.run_pipeline`):
+
     fallback_ratio:
         If not None and ``m <= fallback_ratio * n``, run TV-opt instead
-        (paper: "if m <= 4n, we can always fall back to TV-opt").  Pass
-        None to force filtering regardless of density.
+        (paper: "if m <= 4n, we can always fall back to TV-opt"; the
+        spec's default ratio is 4.0).  Pass None to force filtering
+        regardless of density.
+    lowhigh_method / aux_cc:
+        Strategy selectors for the shared TV tail (see :func:`tv_bcc`).
     stats_out:
         Optional list; a :class:`FilterStats` is appended when filtering
         actually ran.
     """
-    machine = machine or NullMachine()
-    n, m = g.n, g.m
-    if m == 0:
-        return BCCResult(g, np.zeros(0, dtype=np.int64), "tv-filter", _maybe_report(machine))
-    if fallback_ratio is not None and m <= fallback_ratio * n:
-        return tv_bcc(
-            g,
-            machine,
-            variant="opt",
-            lowhigh_method=lowhigh_method,
-            aux_cc=aux_cc,
-            algorithm_name="tv-filter",
-        )
-
-    with machine.region("Filtering"):
-        # step 1: BFS tree T
-        bfsres = bfs_spanning_tree(g, root=0, machine=machine)
-        tree_mask = bfsres.tree_edge_mask(m)
-        # step 2: spanning forest F of G - T
-        nontree_ids = np.flatnonzero(~tree_mask)
-        sv = shiloach_vishkin(n, g.u[nontree_ids], g.v[nontree_ids], machine)
-        forest_ids = nontree_ids[sv.forest_edges]
-        consider = tree_mask.copy()
-        consider[forest_ids] = True
-        machine.parallel(m, Ops(contig=2))
-    if stats_out is not None:
-        stats_out.append(
-            FilterStats(
-                m=m,
-                tree_edges=int(tree_mask.sum()),
-                forest_edges=int(forest_ids.size),
-                filtered_edges=int(m - tree_mask.sum() - forest_ids.size),
-                bfs_levels=bfsres.num_levels,
-            )
-        )
-
-    # step 3: TV on T ∪ F.  T is already a rooted tree, so the TV-opt
-    # numbering path applies directly (its Spanning-tree step is free).
-    with machine.region("Euler-tour"):
-        numbering = numbering_from_parents(
-            bfsres.parent, bfsres.level, bfsres.parent_edge, machine
-        )
-
-    # steps 3 (cont.) + 4: label considered edges via the auxiliary graph
-    # and filtered edges via condition 1
-    labels, _, _ = label_edges_via_aux(
-        g,
-        consider=consider,
-        tree_mask=tree_mask,
-        numbering=numbering,
-        machine=machine,
-        lowhigh_method=lowhigh_method,
-        aux_cc=aux_cc,
-    )
-    return BCCResult(g, labels, "tv-filter", _maybe_report(machine))
+    return run_pipeline(g, "tv-filter", machine, **knobs)
 
 
 def count_biconnected_components_bfs(
@@ -164,7 +97,3 @@ def count_biconnected_components_bfs(
     # edge-containing components of F = components of G - T that have edges
     touched = np.union1d(g.u[nontree_ids], g.v[nontree_ids])
     return int(np.unique(sv.labels[touched]).size)
-
-
-def _maybe_report(machine: Machine):
-    return machine.report() if not isinstance(machine, NullMachine) else None

@@ -1,4 +1,4 @@
-"""The Tarjan–Vishkin pipeline and its SMP variants (TV-SMP, TV-opt).
+"""The Tarjan–Vishkin entry points (TV-SMP, TV-opt).
 
 The six steps of TV (paper §2) and how each variant realizes them:
 
@@ -15,6 +15,12 @@ step                    TV-SMP                          TV-opt
 
 Both variants return identical partitions; they differ (by design) only in
 how much the machine model charges for steps 1–3 — the paper's entire §3.
+
+The step implementations live in :mod:`repro.core.strategies` as registered
+pipeline strategies; the variants themselves are pure
+:class:`~repro.core.pipeline.AlgorithmSpec` data driven by
+:func:`~repro.core.pipeline.run_pipeline`.  This module keeps the
+historical call signatures as thin wrappers.
 """
 
 from __future__ import annotations
@@ -22,16 +28,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph
-from ..primitives.connectivity import shiloach_vishkin
-from ..primitives.euler_tour import TreeNumbering, euler_tour_numbering
-from ..primitives.spanning_tree import sv_spanning_tree, traversal_spanning_tree
-from ..primitives.tree_computations import numbering_from_parents
-from ..smp import Machine, NullMachine, Ops
-from .auxgraph import AuxiliaryGraph, build_auxiliary_graph
-from .lowhigh import low_high
+from ..primitives.euler_tour import TreeNumbering
+from ..smp import Machine
+from .auxgraph import AuxiliaryGraph
+from .pipeline import PipelineContext, _prepare_labeling, get_strategy, run_pipeline
 from .result import BCCResult
 
 __all__ = ["tv_bcc", "tv_smp_bcc", "tv_opt_bcc", "label_edges_via_aux"]
+
+_VARIANTS = {"smp": "tv-smp", "opt": "tv-opt"}
 
 
 def tv_bcc(
@@ -39,10 +44,8 @@ def tv_bcc(
     machine: Machine | None = None,
     *,
     variant: str = "opt",
-    lowhigh_method: str | None = None,
-    list_ranking: str = "wyllie",
-    aux_cc: str = "full",
     algorithm_name: str | None = None,
+    **knobs,
 ) -> BCCResult:
     """Biconnected components via Tarjan–Vishkin.
 
@@ -50,42 +53,26 @@ def tv_bcc(
     ----------
     variant:
         ``"smp"`` (the direct emulation, TV-SMP) or ``"opt"`` (TV-opt).
-    lowhigh_method:
-        ``"sweep"`` or ``"rmq"`` subtree aggregation (ablation knob).
-        Defaults per variant: TV-SMP aggregates over preorder intervals of
-        the Euler tour (``"rmq"``, the PRAM formulation); TV-opt uses the
-        level ``"sweep"``.
-    list_ranking:
-        ``"wyllie"`` or ``"helman-jaja"`` for TV-SMP's Root-tree step.
-    aux_cc:
-        ``"full"`` (default; the paper's step 6 — SV over the whole
-        auxiliary graph, in both variants: §5 observes that TV-SMP and
-        TV-opt "take roughly the same amount of time" for these steps) or
-        ``"pruned"`` (a beyond-the-paper optimization that exploits the
-        degree-1 nontree aux vertices; see the ``abl-auxcc`` bench).
+    knobs:
+        Strategy-selector and strategy options forwarded to
+        :func:`~repro.core.pipeline.run_pipeline`:
+
+        * ``lowhigh_method`` — ``"sweep"``, ``"rmq"`` or ``"contraction"``
+          subtree aggregation.  Defaults per variant: TV-SMP aggregates
+          over preorder intervals of the Euler tour (``"rmq"``, the PRAM
+          formulation); TV-opt uses the level ``"sweep"``.
+        * ``list_ranking`` — ``"wyllie"`` or ``"helman-jaja"`` for
+          TV-SMP's Root-tree step.
+        * ``aux_cc`` — ``"full"`` (default; the paper's step 6 — SV over
+          the whole auxiliary graph) or ``"pruned"`` (a beyond-the-paper
+          optimization exploiting the degree-1 nontree aux vertices; see
+          the ``abl-auxcc`` bench).
     """
-    machine = machine or NullMachine()
-    name = algorithm_name or (f"tv-{variant}")
-    if lowhigh_method is None:
-        lowhigh_method = "rmq" if variant == "smp" else "sweep"
-    m = g.m
-    if m == 0:
-        return BCCResult(g, np.zeros(0, dtype=np.int64), name, _maybe_report(machine))
-
-    tree_mask, numbering, tree_edge_of_child = _spanning_and_numbering(
-        g, machine, variant=variant, list_ranking=list_ranking
-    )
-
-    labels = label_edges_via_aux(
-        g,
-        consider=np.ones(m, dtype=bool),
-        tree_mask=tree_mask,
-        numbering=numbering,
-        machine=machine,
-        lowhigh_method=lowhigh_method,
-        aux_cc=aux_cc,
-    )[0]
-    return BCCResult(g, labels, name, _maybe_report(machine))
+    try:
+        name = _VARIANTS[variant]
+    except KeyError:
+        raise ValueError(f"unknown TV variant {variant!r}") from None
+    return run_pipeline(g, name, machine, algorithm_name=algorithm_name, **knobs)
 
 
 def tv_smp_bcc(g: Graph, machine: Machine | None = None, **kw) -> BCCResult:
@@ -96,52 +83,6 @@ def tv_smp_bcc(g: Graph, machine: Machine | None = None, **kw) -> BCCResult:
 def tv_opt_bcc(g: Graph, machine: Machine | None = None, **kw) -> BCCResult:
     """TV-opt: the engineering-optimized adaptation (paper §3.2)."""
     return tv_bcc(g, machine, variant="opt", **kw)
-
-
-def _spanning_and_numbering(
-    g: Graph,
-    machine: Machine,
-    *,
-    variant: str,
-    list_ranking: str = "wyllie",
-) -> tuple[np.ndarray, TreeNumbering, np.ndarray]:
-    """Steps 1–3: spanning tree/forest + rooted numbering.
-
-    Returns (tree edge mask over g's edges, numbering, child->edge map as
-    ``numbering.parent_edge`` already re-indexed to g's edge ids).
-    """
-    m = g.m
-    if variant == "smp":
-        with machine.region("Spanning-tree"):
-            forest = sv_spanning_tree(g, machine)
-        tree_ids = forest.edge_ids
-        numbering = euler_tour_numbering(
-            g.n,
-            g.u[tree_ids],
-            g.v[tree_ids],
-            machine,
-            list_ranking=list_ranking,
-        )
-        # parent_edge indexes the tree-edge sublist; re-index to g's edges
-        pe = numbering.parent_edge
-        has = pe >= 0
-        pe_global = np.full(g.n, -1, dtype=np.int64)
-        pe_global[has] = tree_ids[pe[has]]
-        numbering.parent_edge = pe_global
-    elif variant == "opt":
-        with machine.region("Spanning-tree"):
-            trav = traversal_spanning_tree(g, root=0, machine=machine)
-        with machine.region("Euler-tour"):
-            numbering = numbering_from_parents(
-                trav.parent, trav.level, trav.parent_edge, machine
-            )
-    else:
-        raise ValueError(f"unknown TV variant {variant!r}")
-
-    tree_mask = np.zeros(m, dtype=bool)
-    ids = numbering.parent_edge[numbering.parent_edge >= 0]
-    tree_mask[ids] = True
-    return tree_mask, numbering, numbering.parent_edge
 
 
 def label_edges_via_aux(
@@ -156,71 +97,21 @@ def label_edges_via_aux(
 ) -> tuple[np.ndarray, np.ndarray, AuxiliaryGraph]:
     """Steps 4–6 (+ the TV-filter back-labelling of excluded edges).
 
-    ``consider`` masks the edges fed to Algorithm 1 (all of them for plain
-    TV; T ∪ F for TV-filter).  Edges outside ``consider`` are labelled via
-    condition 1: the component of the deeper endpoint's parent tree edge.
-
-    ``aux_cc`` selects the Connected-components realization:
-
-    * ``"full"`` — TV's step 6 as written: SV over the entire auxiliary
-      graph of n + m' vertices (TV-SMP emulates this);
-    * ``"pruned"`` — the engineered version: every nontree aux vertex has
-      degree one (its single condition-1 edge), so SV runs only on the
-      tree-edge vertices with the condition-2/3 edges, and nontree edges
-      inherit the label of their condition-1 partner afterwards.  Same
-      partition, far smaller CC instance.
+    Compatibility wrapper running the ``lowhigh`` → ``label`` → ``cc``
+    registry stages over an ad-hoc context.  ``consider`` masks the edges
+    fed to Algorithm 1 (all of them for plain TV; T ∪ F for TV-filter);
+    edges outside it are labelled via condition 1.  ``aux_cc`` selects the
+    Connected-components strategy (``"full"`` or ``"pruned"``).
 
     Returns ``(edge_labels, vertex_component_of_tree_edge, aux_graph)``.
     """
-    m = g.m
-    # child endpoint of each tree edge
-    child_of_edge = np.full(m, -1, dtype=np.int64)
-    nonroot = np.flatnonzero(numbering.parent_edge >= 0)
-    child_of_edge[numbering.parent_edge[nonroot]] = nonroot
-
-    nu_mask = consider & ~tree_mask
-    with machine.region("Low-high"):
-        low, high = low_high(
-            g.u[nu_mask], g.v[nu_mask], numbering, machine, method=lowhigh_method
-        )
-
-    with machine.region("Label-edge"):
-        aux = build_auxiliary_graph(
-            g.n, g.u, g.v, consider, tree_mask, child_of_edge, numbering, low, high, machine
-        )
-
-    with machine.region("Connected-components"):
-        labels = np.full(m, -1, dtype=np.int64)
-        if aux_cc == "full":
-            cc = shiloach_vishkin(aux.num_vertices, aux.au, aux.av, machine)
-            ccl = cc.labels[: g.n]
-            inside = np.flatnonzero(consider)
-            labels[inside] = cc.labels[aux.aux_id_of_edge[inside]]
-        elif aux_cc == "pruned":
-            n1 = aux.condition_counts[0]
-            cc = shiloach_vishkin(g.n, aux.au[n1:], aux.av[n1:], machine)
-            ccl = cc.labels
-            tidx = np.flatnonzero(consider & tree_mask)
-            labels[tidx] = ccl[child_of_edge[tidx]]
-            ntidx = np.flatnonzero(nu_mask)
-            if ntidx.size:
-                eu, ev = g.u[ntidx], g.v[ntidx]
-                deeper = np.where(numbering.pre[eu] > numbering.pre[ev], eu, ev)
-                labels[ntidx] = ccl[deeper]
-            machine.parallel(m, Ops(random=3, alu=1))
-        else:
-            raise ValueError(f"unknown aux_cc mode {aux_cc!r}")
-        outside = np.flatnonzero(~consider)
-        if outside.size:
-            # condition 1 for every filtered edge: same component as the
-            # deeper endpoint's tree edge (paper Alg. 2, step 4)
-            eu, ev = g.u[outside], g.v[outside]
-            deeper = np.where(numbering.pre[eu] > numbering.pre[ev], eu, ev)
-            labels[outside] = ccl[deeper]
-            machine.parallel(outside.size, Ops(random=3, alu=1))
-        machine.parallel(m, Ops(random=2))
-    return labels, ccl, aux
-
-
-def _maybe_report(machine: Machine):
-    return machine.report() if not isinstance(machine, NullMachine) else None
+    ctx = PipelineContext(g, machine, {})
+    ctx.consider = consider
+    ctx.tree_mask = tree_mask
+    ctx.numbering = numbering
+    _prepare_labeling(ctx)
+    for stage, name in (("lowhigh", lowhigh_method), ("label", "aux"), ("cc", aux_cc)):
+        strat = get_strategy(stage, name)
+        with machine.region(strat.region):
+            strat.fn(ctx)
+    return ctx.labels, ctx.ccl, ctx.aux

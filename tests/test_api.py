@@ -46,6 +46,34 @@ class TestBiconnectedComponents:
         )
         np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
 
+    def test_sequential_rejects_unknown_kwargs(self):
+        g = gen.cycle_graph(5)
+        with pytest.raises(TypeError, match="accepts no algorithm options"):
+            biconnected_components(g, "sequential", lowhigh_method="rmq")
+
+    def test_pipeline_rejects_unknown_kwargs(self):
+        g = gen.cycle_graph(5)
+        with pytest.raises(TypeError, match="unknown option"):
+            biconnected_components(g, "tv-opt", turbo=True)
+
+    def test_custom_algorithm_registered(self):
+        g = gen.random_connected_gnm(40, 160, seed=4)
+        res = biconnected_components(
+            g, "custom", strategies={"lowhigh": "rmq", "cc": "pruned"}
+        )
+        assert res.algorithm == "custom"
+        np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
+
+    def test_list_and_describe(self):
+        names = repro.list_algorithms()
+        assert set(names) == set(ALGORITHMS)
+        for name in names:
+            text = repro.describe_algorithm(name)
+            assert text  # every entry is describable
+        assert "Hopcroft" in repro.describe_algorithm("sequential")
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            repro.describe_algorithm("quantum")
+
 
 class TestDerivedQueries:
     def test_articulation_points(self):

@@ -82,21 +82,47 @@ class TestClaimRunners:
         rows = runner.run_ablation_euler(n=N, p=4, seed=1)
         labels = [r.label for r in rows]
         assert any("wyllie" in l for l in labels)
-        assert any("dfs" in l for l in labels)
+        assert any("prefix" in l for l in labels)
         text = report.format_ablation(rows, "t")
         assert "sim [s]" in text
 
     def test_ablation_spanning(self):
+        # sv[textbook], sv[engineered], hcs, traversal, bfs — one full
+        # pipeline per registered spanning strategy (and knob combo)
         rows = runner.run_ablation_spanning(n=N, p=4, seed=1)
-        assert len(rows) == 4
+        assert len(rows) == 5
 
     def test_ablation_auxcc(self):
         rows = runner.run_ablation_auxcc(n=N, p=4, seed=1)
         by_label = {r.label: r.sim_time_s for r in rows}
-        assert by_label["tv-opt aux_cc=pruned"] < by_label["tv-opt aux_cc=full (paper)"]
+        assert by_label["tv-opt cc=pruned"] < by_label["tv-opt cc=full"]
 
     def test_ablation_lowhigh(self):
         assert len(runner.run_ablation_lowhigh(n=N, p=4, seed=1)) == 3
+
+    def test_ablation_registry_generic(self):
+        rows = runner.run_ablation("filter", n=N, p=4, seed=1)
+        assert [r.label for r in rows] == [
+            "tv-filter filter=none",
+            "tv-filter filter=forest",
+        ]
+        for r in rows:
+            assert r.extra["stage"] == "filter"
+            assert r.extra["strategies"]["spanning"] == "bfs"
+            assert r.sim_time_s > 0
+
+    def test_ablation_unknown_stage(self):
+        with pytest.raises(ValueError, match="unknown pipeline stage"):
+            runner.run_ablation("turbo", n=N)
+
+    def test_ablation_repair_unrooted_spanning(self):
+        # ablating spanning=sv on tv-opt must repair euler to the
+        # list-ranked tour (prefix numbering requires a rooted tree)
+        rows = runner.run_ablation("spanning", n=N, p=4, seed=1)
+        sv = next(r for r in rows if r.label == "tv-opt spanning=sv[textbook]")
+        assert sv.extra["strategies"]["euler"] == "tour"
+        trav = next(r for r in rows if r.label == "tv-opt spanning=traversal")
+        assert trav.extra["strategies"]["euler"] == "prefix"
 
     def test_fallback_sweep(self):
         rows = runner.run_fallback_sweep(n=N, p=4, seed=1)

@@ -40,8 +40,42 @@ class TestBcc:
 
     def test_all_algorithms(self, graph_file, capsys):
         path, _ = graph_file
-        for algo in ("sequential", "tv-smp", "tv-opt", "tv-filter"):
+        for algo in ("sequential", "tv-smp", "tv-opt", "tv-filter", "custom"):
             assert main(["bcc", path, "--algorithm", algo]) == 0
+
+    def test_strategy_overrides(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["bcc", path, "--algorithm", "custom",
+                     "--strategy", "lowhigh=rmq", "--strategy", "cc=pruned"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm=custom" in out
+        assert "biconnected components: 1" in out
+
+    def test_strategy_bad_format(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit, match="STAGE=NAME"):
+            main(["bcc", path, "--strategy", "lowhigh"])
+
+    def test_strategy_unknown_name(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit, match="unknown lowhigh strategy"):
+            main(["bcc", path, "--strategy", "lowhigh=turbo"])
+
+    def test_explain_no_graph_needed(self, capsys):
+        assert main(["bcc", "--algorithm", "tv-filter", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "fallback: tv-opt" in out
+        assert "Filtering" in out and "prefix" in out
+
+    def test_explain_with_overrides(self, capsys):
+        assert main(["bcc", "--algorithm", "custom", "--explain",
+                     "--strategy", "lowhigh=rmq"]) == 0
+        out = capsys.readouterr().out
+        assert "rmq" in out
+
+    def test_bcc_without_graph_errors(self):
+        with pytest.raises(SystemExit, match="graph file is required"):
+            main(["bcc", "--algorithm", "tv-opt"])
 
 
 class TestGenerate:
@@ -63,6 +97,13 @@ class TestGenerate:
         assert main(["generate", "rmat", str(out), "--n", "64", "--m", "256"]) == 0
         g = read_edgelist(out)
         assert g.n == 64
+
+    @pytest.mark.parametrize("family", ["gnm", "connected-gnm", "rmat"])
+    def test_edge_count_families_require_m(self, tmp_path, family):
+        out = tmp_path / "x.edges"
+        with pytest.raises(SystemExit, match="--m .* required"):
+            main(["generate", family, str(out), "--n", "50"])
+        assert not out.exists()
 
 
 class TestConvertInfoAugment:
