@@ -43,11 +43,13 @@ from .smp import (
     flat_machine,
     sequential_machine,
 )
+from . import service  # noqa: E402  (imports api above; keep last)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "service",
     "Graph",
     "CSRGraph",
     "generators",

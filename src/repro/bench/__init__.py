@@ -17,6 +17,7 @@ from .runner import (
     run_fig4,
     run_filter_claims,
     run_pathological,
+    run_service_bench,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "run_fallback_sweep",
     "run_pathological",
     "run_dense",
+    "run_service_bench",
 ]

@@ -17,6 +17,8 @@ The abl-* experiments enumerate the stage/strategy registry
 (repro.core.pipeline): newly registered strategies appear automatically.
   pathological  §4: chain (d = O(n)) vs random (small d)
   dense         Woo–Sahni regime: 70%/90% of K_n
+  service       query-service workload: throughput, latency percentiles,
+                cache behaviour (repro.service; see docs/service.md)
   all           run everything
 
 Scale: --n overrides the vertex count (default 100,000;
@@ -146,6 +148,13 @@ def _dense(args):
     rows = runner.run_dense(seed=args.seed)
     _emit(report.format_ablation(rows, "Woo–Sahni dense regime (§1)"), args)
     return rows
+
+
+@experiment("service")
+def _service(args):
+    rep = runner.run_service_bench(n=args.n, seed=args.seed)
+    _emit(report.format_service(rep), args)
+    return rep.as_dict()
 
 
 @experiment("all")

@@ -15,6 +15,7 @@ __all__ = [
     "format_fig1",
     "format_filter_claims",
     "format_ablation",
+    "format_service",
     "ascii_bars",
 ]
 
@@ -128,6 +129,44 @@ def format_ablation(rows: list[AblationRow], title: str) -> str:
     headers = ["configuration", "n", "m", "p", "sim [s]", "wall [s]"]
     body = [[r.label, r.n, r.m, r.p, r.sim_time_s, r.wall_time_s] for r in rows]
     return table(headers, body, title)
+
+
+def format_service(rep) -> str:
+    """Service benchmark: per-op latency table plus engine/cache counters.
+
+    ``rep`` is a :class:`repro.service.driver.WorkloadReport` (kept
+    untyped here to avoid importing the service subsystem for the
+    figure-only experiments).
+    """
+    headers = ["op", "count", "mean [us]", "p50 [us]", "p95 [us]", "p99 [us]"]
+    body = [
+        [op, s["count"], s["mean_us"], s["p50_us"], s["p95_us"], s["p99_us"]]
+        for op, s in rep.latency_us.items()
+    ]
+    title = (
+        f"Service workload — n={rep.graph_n:,}, m={rep.graph_m:,}, "
+        f"{rep.num_ops:,} ops ({rep.num_queries:,} queries / "
+        f"{rep.num_updates:,} updates), algorithm={rep.algorithm}"
+    )
+    lines = [table(headers, body, title)]
+    lines.append(
+        f"throughput {rep.throughput_ops_s:,.0f} ops/s (wall {rep.wall_s:.3f}s); "
+        f"query p50/p95/p99 = {rep.query_p50_us:.1f}/{rep.query_p95_us:.1f}/"
+        f"{rep.query_p99_us:.1f} us"
+    )
+    lines.append(
+        f"index cache: {rep.cache_hits} hits / {rep.cache_misses} misses "
+        f"(hit rate {rep.cache_hit_rate:.1%}); {rep.rebuilds} rebuilds, "
+        f"{rep.incremental_extensions} incremental extensions, "
+        f"{rep.evictions} evictions, {rep.noop_updates} no-op updates"
+    )
+    if rep.sim_time_s is not None:
+        regions = ", ".join(f"{k} {v:.3f}s" for k, v in sorted(rep.sim_regions.items()))
+        lines.append(f"simulated E4500 (p={rep.p}): {rep.sim_time_s:.3f}s [{regions}]")
+    if rep.verified is not None:
+        lines.append(f"verified against recompute-from-scratch: {rep.verified} "
+                     f"({rep.mismatches} mismatches)")
+    return "\n".join(lines)
 
 
 def ascii_bars(

@@ -11,6 +11,7 @@ model is scale-invariant; see DESIGN.md); pass ``n=1_000_000`` or set
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -40,6 +41,7 @@ __all__ = [
     "run_fallback_sweep",
     "run_pathological",
     "run_dense",
+    "run_service_bench",
 ]
 
 #: Densities (m/n) in the Fig. 3 / Fig. 4 grid.  The paper sweeps several
@@ -433,6 +435,54 @@ def run_pathological(n: int | None = None, p: int = 12, seed: int = 42) -> list[
                    graph=label)
         )
     return rows
+
+
+def run_service_bench(
+    n: int | None = None,
+    ops: int = 10_000,
+    seed: int = 42,
+    p: int = 12,
+    update_frac: float = 0.1,
+    algorithm: str = "tv-filter",
+    edge_bias: float = 0.05,
+    cache_size: int = 8,
+):
+    """Service-level benchmark: a seeded mixed workload through the engine.
+
+    The instance mirrors the paper's densest grid point at the chosen
+    scale — a random connected graph with m = n * round(log2 n) edges —
+    and the workload is the default 90% query / 10% batch-update mix of
+    :mod:`repro.service.workload`.  Returns the driver's
+    :class:`~repro.service.driver.WorkloadReport` (throughput, per-op
+    p50/p95/p99 latencies, cache hit rate, rebuild counts, simulated
+    E4500 seconds at ``p``), the perf trajectory future scaling PRs are
+    measured against (see results/BENCH_service.json).
+
+    The default scale is intentionally smaller than the figure runners'
+    (the service is rebuild-bound, not single-run-bound): n = 10,000
+    unless overridden by ``n`` or REPRO_BENCH_N.
+    """
+    import os as _os
+
+    from ..service import WorkloadSpec, generate_workload, mix_with_update_fraction
+    from ..service.driver import run_workload
+
+    if n is None:
+        n = (default_n() if ("REPRO_BENCH_N" in _os.environ
+                             or _os.environ.get("REPRO_BENCH_SCALE"))
+             else 10_000)
+    m = n * max(1, round(math.log2(n)))
+    spec = WorkloadSpec(
+        num_ops=ops,
+        seed=seed,
+        mix=mix_with_update_fraction(update_frac),
+        edge_bias=edge_bias,
+        graph={"family": "connected-gnm", "n": int(n), "m": int(m), "seed": seed},
+    )
+    workload = generate_workload(spec)
+    machine = e4500(p) if p else None
+    return run_workload(workload, algorithm=algorithm, machine=machine,
+                        cache_size=cache_size)
 
 
 def run_dense(p: int = 12, seed: int = 42, n: int = 1500) -> list[AblationRow]:

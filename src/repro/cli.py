@@ -7,65 +7,43 @@ generate   write a generated instance to a graph file
 convert    convert between edge-list / DIMACS / METIS formats
 info       structural summary of a graph file (blocks, cuts, bridges)
 augment    add edges until the graph is biconnected
+workload   generate / run biconnectivity query workloads (repro.service)
 
 Graph file formats are selected by extension: ``.edges`` (plain edge
 list), ``.dimacs``/``.col`` (DIMACS), ``.metis``/``.graph`` (METIS).
+``bcc`` and ``info`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 
 import numpy as np
 
 from .api import ALGORITHMS, biconnected_components, describe_algorithm
-from .core.blockcut import augment_to_biconnected, block_cut_tree
+from .core.blockcut import augment_to_biconnected
 from .graph import Graph, generators as gen
-from .graph.io import (
-    read_dimacs,
-    read_edgelist,
-    read_metis,
-    write_dimacs,
-    write_edgelist,
-    write_metis,
-)
+from .graph.io import read_graph, write_graph
 from .smp import e4500
 
 __all__ = ["main"]
 
-_READERS = {
-    "edges": read_edgelist,
-    "dimacs": read_dimacs,
-    "col": read_dimacs,
-    "metis": read_metis,
-    "graph": read_metis,
-}
-_WRITERS = {
-    "edges": write_edgelist,
-    "dimacs": write_dimacs,
-    "col": write_dimacs,
-    "metis": write_metis,
-    "graph": write_metis,
-}
-
-
-def _format_of(path: str) -> str:
-    ext = path.rsplit(".", 1)[-1].lower() if "." in path else ""
-    if ext not in _READERS:
-        raise SystemExit(
-            f"unrecognized graph extension {ext!r} for {path!r}; "
-            f"use one of {sorted(_READERS)}"
-        )
-    return ext
-
 
 def _read(path: str) -> Graph:
-    return _READERS[_format_of(path)](path)
+    try:
+        return read_graph(path)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _write(g: Graph, path: str) -> None:
-    _WRITERS[_format_of(path)](g, path)
+    try:
+        write_graph(g, path)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 GENERATORS = {
@@ -113,20 +91,43 @@ def cmd_bcc(args) -> int:
         )
     except (TypeError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
-    print(f"n={g.n} m={g.m} algorithm={res.algorithm}")
-    print(f"biconnected components: {res.num_components}")
     sizes = res.component_sizes()
-    if sizes.size:
-        print(f"largest block: {int(sizes.max())} edges; "
-              f"single-edge blocks (bridges): {int((sizes == 1).sum())}")
-    print(f"articulation points: {res.articulation_points().size}")
-    if machine is not None:
-        print(f"simulated E4500 time at p={args.p}: {machine.time_s:.4f}s")
-        for step, sec in res.report.region_times_s().items():
-            print(f"  {step:22s} {sec:8.4f}s")
+    if args.json:
+        doc = {
+            "command": "bcc",
+            "file": args.graph,
+            "n": g.n,
+            "m": g.m,
+            "algorithm": res.algorithm,
+            "num_components": res.num_components,
+            "num_articulation_points": int(res.articulation_points().size),
+            "num_bridges": int(res.bridges().size),
+            "largest_block_edges": int(sizes.max()) if sizes.size else 0,
+            "simulated": None,
+        }
+        if machine is not None:
+            doc["simulated"] = {
+                "p": machine.p,
+                "time_s": float(machine.time_s),
+                "regions": {k: float(v)
+                            for k, v in res.report.region_times_s().items()},
+            }
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"n={g.n} m={g.m} algorithm={res.algorithm}")
+        print(f"biconnected components: {res.num_components}")
+        if sizes.size:
+            print(f"largest block: {int(sizes.max())} edges; "
+                  f"single-edge blocks (bridges): {int((sizes == 1).sum())}")
+        print(f"articulation points: {res.articulation_points().size}")
+        if machine is not None:
+            print(f"simulated E4500 time at p={args.p}: {machine.time_s:.4f}s")
+            for step, sec in res.report.region_times_s().items():
+                print(f"  {step:22s} {sec:8.4f}s")
     if args.labels_out:
         np.savetxt(args.labels_out, res.edge_labels, fmt="%d")
-        print(f"edge labels written to {args.labels_out}")
+        if not args.json:
+            print(f"edge labels written to {args.labels_out}")
     return 0
 
 
@@ -157,22 +158,50 @@ def cmd_convert(args) -> int:
 
 def cmd_info(args) -> int:
     from .graph.validate import is_connected
+    from .service.index import BCCIndex
 
     g = _read(args.graph)
     deg = g.degrees()
-    res = biconnected_components(g, algorithm=args.algorithm)
-    bct = block_cut_tree(res)
-    print(f"file            : {args.graph}")
-    print(f"vertices        : {g.n}")
-    print(f"edges           : {g.m}")
+    idx = BCCIndex.build(g, algorithm=args.algorithm)
+    connected = is_connected(g)
+    biconnected = bool(
+        g.n >= 3
+        and connected
+        and idx.num_components() == 1
+        and idx.num_articulation_points() == 0
+        and (deg > 0).all()
+    )
+    facts = {
+        "file": args.graph,
+        "n": g.n,
+        "m": g.m,
+        "avg_degree": round(g.density, 4),
+        "degree_min": int(deg.min()) if g.n else 0,
+        "degree_max": int(deg.max()) if g.n else 0,
+        "connected": bool(connected),
+        "blocks": idx.num_components(),
+        "articulation_points": idx.num_articulation_points(),
+        "bridges": idx.num_bridges(),
+        "leaf_blocks": int(idx.block_cut().leaf_blocks().size),
+        "largest_block_edges": idx.largest_block_edges(),
+        "biconnected": biconnected,
+    }
+    if args.json:
+        print(json.dumps({"command": "info", **facts}, indent=2))
+        return 0
+    print(f"file            : {facts['file']}")
+    print(f"vertices        : {facts['n']}")
+    print(f"edges           : {facts['m']}")
     print(f"avg degree      : {g.density:.2f}")
     if g.n:
-        print(f"degree min/max  : {int(deg.min())}/{int(deg.max())}")
-    print(f"connected       : {is_connected(g)}")
-    print(f"blocks          : {res.num_components}")
-    print(f"articulation pts: {res.articulation_points().size}")
-    print(f"bridges         : {res.bridges().size}")
-    print(f"leaf blocks     : {bct.leaf_blocks().size}")
+        print(f"degree min/max  : {facts['degree_min']}/{facts['degree_max']}")
+    print(f"connected       : {facts['connected']}")
+    print(f"blocks          : {facts['blocks']}")
+    print(f"articulation pts: {facts['articulation_points']}")
+    print(f"bridges         : {facts['bridges']}")
+    print(f"leaf blocks     : {facts['leaf_blocks']}")
+    print(f"largest block   : {facts['largest_block_edges']} edges")
+    print(f"biconnected     : {facts['biconnected']}")
     return 0
 
 
@@ -183,6 +212,93 @@ def cmd_augment(args) -> int:
     print(f"added {len(added)} edge(s); wrote biconnected graph to {args.out}")
     for a, b in added:
         print(f"  + ({a}, {b})")
+    return 0
+
+
+def cmd_workload_gen(args) -> int:
+    from .service import WorkloadSpec, generate_workload, mix_with_update_fraction
+    from .service.store import GRAPH_FAMILIES
+
+    if args.graph:
+        graph_spec = {"path": args.graph}
+    else:
+        if not args.n:
+            raise SystemExit("workload gen: pass --n (generated instance) or --graph FILE")
+        m = args.m if args.m > 0 else args.n * max(1, round(math.log2(args.n)))
+        if args.family not in GRAPH_FAMILIES:
+            raise SystemExit(
+                f"unknown family {args.family!r}; choose from {sorted(GRAPH_FAMILIES)}"
+            )
+        graph_spec = {"family": args.family, "n": args.n, "m": int(m),
+                      "seed": args.graph_seed if args.graph_seed is not None else args.seed}
+    try:
+        spec = WorkloadSpec(
+            num_ops=args.ops,
+            seed=args.seed,
+            mix=mix_with_update_fraction(args.update_frac),
+            vertex_dist=args.dist,
+            skew=args.skew,
+            batch_size=args.batch,
+            edge_bias=args.edge_bias,
+            graph=graph_spec,
+        )
+        wl = generate_workload(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    from .service import save_workload
+
+    save_workload(wl, args.out)
+    print(f"wrote {len(wl)} ops ({wl.num_queries} queries, {wl.num_updates} updates) "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_workload_run(args) -> int:
+    from .service import load_workload, run_workload
+
+    try:
+        wl = load_workload(args.workload)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"workload run: {exc}") from None
+    graph = _read(args.graph) if args.graph else None
+    machine = e4500(args.p) if args.p else None
+    try:
+        rep = run_workload(
+            wl,
+            graph=graph,
+            algorithm=args.algorithm,
+            machine=machine,
+            cache_size=args.cache_size,
+            verify=args.verify,
+        )
+    except (ValueError, IndexError) as exc:
+        # IndexError: --graph override smaller than the workload's universe
+        raise SystemExit(f"workload run: {exc}") from None
+    if args.json:
+        print(json.dumps(rep.as_dict(), indent=2))
+    else:
+        print(f"graph n={rep.graph_n} m={rep.graph_m}  algorithm={rep.algorithm}")
+        print(f"ops: {rep.num_ops} ({rep.num_queries} queries, {rep.num_updates} updates) "
+              f"in {rep.wall_s:.3f}s -> {rep.throughput_ops_s:,.0f} ops/s")
+        print(f"query latency us: p50={rep.query_p50_us:.1f} "
+              f"p95={rep.query_p95_us:.1f} p99={rep.query_p99_us:.1f}")
+        for op, lat in rep.latency_us.items():
+            print(f"  {op:18s} x{lat['count']:<6d} p50={lat['p50_us']:9.1f} "
+                  f"p95={lat['p95_us']:9.1f} p99={lat['p99_us']:9.1f}")
+        print(f"cache: {rep.cache_hits} hits / {rep.cache_misses} misses "
+              f"(hit rate {rep.cache_hit_rate:.1%}); rebuilds={rep.rebuilds}, "
+              f"incremental={rep.incremental_extensions}, no-ops={rep.noop_updates}")
+        if rep.sim_time_s is not None:
+            print(f"simulated E4500 time at p={rep.p}: {rep.sim_time_s:.4f}s")
+            for region, sec in (rep.sim_regions or {}).items():
+                print(f"  {region:18s} {sec:8.4f}s")
+        if rep.verified is not None:
+            print(f"verified against recompute-from-scratch: "
+                  f"{rep.verified} ({rep.mismatches} mismatches)")
+    if args.verify and rep.mismatches:
+        raise SystemExit(
+            f"workload run: {rep.mismatches} query answers disagreed with recompute"
+        )
     return 0
 
 
@@ -207,6 +323,8 @@ def main(argv=None) -> int:
                    help="simulate this many E4500 processors (0: off)")
     p.add_argument("--labels-out", default=None,
                    help="write per-edge block labels to this file")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document")
     p.set_defaults(fn=cmd_bcc)
 
     p = sub.add_parser("generate", help="generate an instance")
@@ -225,6 +343,8 @@ def main(argv=None) -> int:
     p = sub.add_parser("info", help="structural summary")
     p.add_argument("graph")
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="tv-filter")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document")
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser("augment", help="augment to biconnectivity")
@@ -232,6 +352,54 @@ def main(argv=None) -> int:
     p.add_argument("out")
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="tv-filter")
     p.set_defaults(fn=cmd_augment)
+
+    p = sub.add_parser(
+        "workload",
+        help="generate or run biconnectivity query workloads (repro.service)",
+    )
+    wsub = p.add_subparsers(dest="workload_command", required=True)
+
+    pg = wsub.add_parser("gen", help="generate a JSON-lines op stream")
+    pg.add_argument("out", help="output workload file (JSON lines)")
+    pg.add_argument("--ops", type=int, default=1000, help="number of operations")
+    pg.add_argument("--seed", type=int, default=0)
+    pg.add_argument("--n", type=int, default=0,
+                    help="vertex count of the generated instance")
+    pg.add_argument("--m", type=int, default=0,
+                    help="edge count (default: n * round(log2 n))")
+    pg.add_argument("--family", default="connected-gnm",
+                    help="generator family for the instance (default connected-gnm)")
+    pg.add_argument("--graph-seed", type=int, default=None,
+                    help="instance seed (default: --seed)")
+    pg.add_argument("--graph", default=None,
+                    help="use this graph file instead of a generated instance")
+    pg.add_argument("--update-frac", type=float, default=0.1,
+                    help="fraction of ops that are batch updates (default 0.1)")
+    pg.add_argument("--dist", choices=("uniform", "skewed"), default="uniform",
+                    help="vertex choice distribution")
+    pg.add_argument("--skew", type=float, default=3.0,
+                    help="skew exponent for --dist skewed")
+    pg.add_argument("--batch", type=int, default=4,
+                    help="max edges per update batch")
+    pg.add_argument("--edge-bias", type=float, default=0.25,
+                    help="probability edge-shaped ops sample a real edge")
+    pg.set_defaults(fn=cmd_workload_gen)
+
+    pr = wsub.add_parser("run", help="execute a workload against the engine")
+    pr.add_argument("workload", help="workload file produced by 'workload gen'")
+    pr.add_argument("--graph", default=None,
+                    help="graph file overriding the workload's graph spec")
+    pr.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="tv-filter")
+    pr.add_argument("--p", type=int, default=0,
+                    help="simulate this many E4500 processors (0: off)")
+    pr.add_argument("--cache-size", type=int, default=8,
+                    help="LRU size of the fingerprint-keyed index cache")
+    pr.add_argument("--verify", action="store_true",
+                    help="check every query against recompute-from-scratch "
+                         "(sequential Tarjan + fresh block-cut tree)")
+    pr.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON")
+    pr.set_defaults(fn=cmd_workload_run)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -22,6 +22,11 @@ __all__ = [
     "read_dimacs",
     "write_metis",
     "read_metis",
+    "READERS",
+    "WRITERS",
+    "format_of",
+    "read_graph",
+    "write_graph",
 ]
 
 
@@ -172,3 +177,53 @@ def read_metis(path_or_file) -> Graph:
     finally:
         if owned:
             f.close()
+
+
+# ---------------------------------------------------------------------- #
+# extension-dispatched entry points
+# ---------------------------------------------------------------------- #
+
+#: Format name (file extension) -> reader.  Shared by the CLI and the
+#: service graph store.
+READERS = {
+    "edges": read_edgelist,
+    "dimacs": read_dimacs,
+    "col": read_dimacs,
+    "metis": read_metis,
+    "graph": read_metis,
+}
+
+#: Format name (file extension) -> writer.
+WRITERS = {
+    "edges": write_edgelist,
+    "dimacs": write_dimacs,
+    "col": write_dimacs,
+    "metis": write_metis,
+    "graph": write_metis,
+}
+
+
+def format_of(path: str | Path) -> str:
+    """The graph format implied by a path's extension.
+
+    Raises ``ValueError`` for unrecognized extensions (the CLI converts
+    this into a ``SystemExit``).
+    """
+    name = str(path)
+    ext = name.rsplit(".", 1)[-1].lower() if "." in name else ""
+    if ext not in READERS:
+        raise ValueError(
+            f"unrecognized graph extension {ext!r} for {name!r}; "
+            f"use one of {sorted(READERS)}"
+        )
+    return ext
+
+
+def read_graph(path: str | Path) -> Graph:
+    """Read a graph file, dispatching on the file extension."""
+    return READERS[format_of(path)](path)
+
+
+def write_graph(g: Graph, path: str | Path) -> None:
+    """Write a graph file, dispatching on the file extension."""
+    WRITERS[format_of(path)](g, path)

@@ -1,0 +1,69 @@
+"""The biconnectivity query service: serve the answers, not the run.
+
+The one-shot pipelines of :mod:`repro.api` compute a full BCC labelling
+per call; this subsystem turns that into a long-lived query engine —
+named graphs with content fingerprints (:mod:`~repro.service.store`), a
+per-graph point-query index built once by any registered algorithm
+(:mod:`~repro.service.index`), lazy batch updates with incremental index
+maintenance (:mod:`~repro.service.updates`), an LRU-cached engine facade
+(:mod:`~repro.service.engine`), and a seeded workload generator + driver
+(:mod:`~repro.service.workload`, :mod:`~repro.service.driver`) measuring
+throughput, latency percentiles and cache behaviour in wall-clock and
+simulated SMP time.
+
+Quick start::
+
+    from repro.service import ServiceEngine
+    import repro
+
+    eng = ServiceEngine()
+    eng.put_graph("net", repro.generators.random_connected_gnm(1000, 4000, seed=1))
+    eng.query("net", "same_bcc", u=3, v=17)
+    eng.add_edges("net", [(3, 999)])          # lazy: reindexed on next query
+    eng.query("net", "is_articulation", v=3)
+
+CLI: ``python -m repro workload gen|run`` (see docs/service.md).
+"""
+
+from .driver import WorkloadReport, oracle_answer, run_workload
+from .engine import QUERY_OPS, UPDATE_OPS, EngineStats, ServiceEngine
+from .index import BCCIndex
+from .store import GraphStore, StoredGraph, graph_fingerprint, make_graph
+from .updates import apply_add_edges, apply_remove_edges, extend_index, shrink_index
+from .workload import (
+    DEFAULT_MIX,
+    Workload,
+    WorkloadSpec,
+    generate_workload,
+    instance_graph,
+    load_workload,
+    mix_with_update_fraction,
+    save_workload,
+)
+
+__all__ = [
+    "ServiceEngine",
+    "EngineStats",
+    "QUERY_OPS",
+    "UPDATE_OPS",
+    "BCCIndex",
+    "GraphStore",
+    "StoredGraph",
+    "graph_fingerprint",
+    "make_graph",
+    "apply_add_edges",
+    "apply_remove_edges",
+    "extend_index",
+    "shrink_index",
+    "Workload",
+    "WorkloadSpec",
+    "DEFAULT_MIX",
+    "mix_with_update_fraction",
+    "generate_workload",
+    "instance_graph",
+    "save_workload",
+    "load_workload",
+    "run_workload",
+    "WorkloadReport",
+    "oracle_answer",
+]

@@ -1,0 +1,213 @@
+"""Workload driver: execute an op stream against the engine and measure it.
+
+The driver reports the service-level quantities the ROADMAP's scaling PRs
+need a trajectory for — throughput, per-op-type latency percentiles
+(p50/p95/p99), cache hit rate, rebuild and incremental-maintenance counts —
+in *both* wall-clock time and simulated :class:`repro.smp.Machine` time, so
+a workload's cost decomposes the same way as the paper's Fig. 3/4
+methodology (total simulated seconds at ``p`` processors, split by region).
+
+``verify=True`` cross-checks every query answer against a from-scratch
+recomputation — sequential Hopcroft–Tarjan plus a fresh block-cut tree —
+recomputed whenever the graph content changes.  This is the engine's
+ground-truth harness (and the CI workload smoke job).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.blockcut import block_cut_tree
+from ..core.result import BCCResult
+from ..core.tarjan import tarjan_bcc
+from ..graph import Graph
+from ..smp import Machine
+from .engine import ServiceEngine
+from .store import graph_fingerprint
+from .workload import QUERY_OP_NAMES, Workload, instance_graph
+
+__all__ = ["WorkloadReport", "run_workload", "oracle_answer"]
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def oracle_answer(result: BCCResult, op: dict):
+    """Brute-force answer for one query op from a from-scratch result.
+
+    Uses only :class:`~repro.core.result.BCCResult` accessors and a fresh
+    block-cut tree — deliberately none of the index's precomputed arrays —
+    so index bugs cannot cancel out.
+    """
+    g = result.graph
+    kind = op["op"]
+    if kind not in QUERY_OP_NAMES:
+        raise ValueError(f"unknown query op {kind!r}")
+    if kind == "num_components":
+        return result.num_components
+    if kind == "is_articulation":
+        bct = block_cut_tree(result)
+        return bool(np.isin(op["v"], bct.cut_vertices))
+    u, v = int(op["u"]), int(op["v"])
+    if kind == "same_bcc":
+        a = result.blocks_of_vertex(u)
+        b = result.blocks_of_vertex(v)
+        return bool(np.intersect1d(a, b).size)
+    # edge-shaped ops: locate {u, v} by scanning the edge list
+    lo, hi = (u, v) if u < v else (v, u)
+    ids = np.flatnonzero((g.u == lo) & (g.v == hi))
+    if kind == "is_bridge":
+        return bool(ids.size) and bool(np.isin(ids[0], result.bridges()))
+    return int(result.edge_labels[ids[0]]) if ids.size else None  # component_of_edge
+
+
+class _RecomputeOracle:
+    """From-scratch recomputation, refreshed whenever the graph changes."""
+
+    def __init__(self):
+        self._fingerprint = None
+        self._result = None
+
+    def answer(self, g: Graph, op: dict):
+        fp = graph_fingerprint(g)
+        if fp != self._fingerprint:
+            self._result = tarjan_bcc(g)
+            self._fingerprint = fp
+        return oracle_answer(self._result, op)
+
+
+@dataclass
+class WorkloadReport:
+    """Measured outcome of one workload execution."""
+
+    graph_n: int
+    graph_m: int
+    num_ops: int
+    num_queries: int
+    num_updates: int
+    algorithm: str
+    wall_s: float
+    throughput_ops_s: float
+    #: op type -> {"count", "mean_us", "p50_us", "p95_us", "p99_us"}
+    latency_us: dict = field(default_factory=dict)
+    #: aggregate percentiles over all query ops
+    query_p50_us: float = 0.0
+    query_p95_us: float = 0.0
+    query_p99_us: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    rebuilds: int = 0
+    incremental_extensions: int = 0
+    evictions: int = 0
+    noop_updates: int = 0
+    #: simulated machine accounting (None when run uninstrumented)
+    p: int | None = None
+    sim_time_s: float | None = None
+    sim_regions: dict | None = None
+    verified: bool | None = None
+    mismatches: int = 0
+
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+def _percentiles(ns: list[int]) -> dict:
+    arr = np.asarray(ns, dtype=np.float64) / 1000.0  # ns -> us
+    p50, p95, p99 = np.percentile(arr, _PERCENTILES)
+    return {
+        "count": int(arr.size),
+        "mean_us": float(arr.mean()),
+        "p50_us": float(p50),
+        "p95_us": float(p95),
+        "p99_us": float(p99),
+    }
+
+
+def run_workload(
+    workload: Workload,
+    graph: Graph | None = None,
+    engine: ServiceEngine | None = None,
+    name: str = "workload",
+    algorithm: str = "tv-filter",
+    machine: Machine | None = None,
+    cache_size: int = 8,
+    verify: bool = False,
+) -> WorkloadReport:
+    """Execute every op of ``workload`` against an engine and measure.
+
+    The graph comes from (in order): the explicit ``graph`` argument, or
+    the workload header's graph spec.  A fresh engine is built unless one
+    is passed in (whose algorithm/machine then win); engine stats are
+    reset so the report covers exactly this run.
+    """
+    if engine is None:
+        engine = ServiceEngine(algorithm=algorithm, cache_size=cache_size,
+                               machine=machine)
+    if graph is None:
+        graph = instance_graph(workload.spec)
+    engine.put_graph(name, graph)
+    engine.reset_stats()
+    machine = engine.machine
+    sim_before = machine.time_s if machine is not None else 0.0
+
+    oracle = _RecomputeOracle() if verify else None
+    mismatches = 0
+    latencies: dict[str, list[int]] = {}
+    t_start = time.perf_counter()
+    for op in workload.ops:
+        kind = op["op"]
+        t0 = time.perf_counter_ns()
+        answer = engine.apply(name, op)
+        latencies.setdefault(kind, []).append(time.perf_counter_ns() - t0)
+        if oracle is not None and kind in QUERY_OP_NAMES:
+            expected = oracle.answer(engine.graph(name), op)
+            if answer != expected:
+                mismatches += 1
+    wall = time.perf_counter() - t_start
+
+    st = engine.stats
+    latency_us = {k: _percentiles(v) for k, v in sorted(latencies.items())}
+    query_ns = [ns for k, v in latencies.items() if k in QUERY_OP_NAMES for ns in v]
+    q50 = q95 = q99 = 0.0
+    if query_ns:
+        agg = _percentiles(query_ns)
+        q50, q95, q99 = agg["p50_us"], agg["p95_us"], agg["p99_us"]
+
+    report = WorkloadReport(
+        graph_n=graph.n,
+        graph_m=graph.m,
+        num_ops=len(workload.ops),
+        num_queries=workload.num_queries,
+        num_updates=workload.num_updates,
+        algorithm=engine.algorithm,
+        wall_s=wall,
+        throughput_ops_s=len(workload.ops) / wall if wall > 0 else 0.0,
+        latency_us=latency_us,
+        query_p50_us=q50,
+        query_p95_us=q95,
+        query_p99_us=q99,
+        cache_hits=st.cache_hits,
+        cache_misses=st.cache_misses,
+        cache_hit_rate=st.cache_hit_rate,
+        rebuilds=st.rebuilds,
+        incremental_extensions=st.incremental_extensions,
+        evictions=st.evictions,
+        noop_updates=st.noop_updates,
+    )
+    if machine is not None:
+        rep = machine.report()
+        report.p = machine.p
+        report.sim_time_s = machine.time_s - sim_before
+        report.sim_regions = {
+            k: float(v) for k, v in rep.region_times_s().items() if k.startswith("Service-")
+        }
+        report.sim_time_s = float(report.sim_time_s)
+    if verify:
+        report.verified = mismatches == 0
+        report.mismatches = mismatches
+    return report

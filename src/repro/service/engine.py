@@ -1,0 +1,274 @@
+"""The biconnectivity query engine.
+
+A :class:`ServiceEngine` owns a :class:`~repro.service.store.GraphStore`
+and serves point queries (:data:`QUERY_OPS`) against per-graph
+:class:`~repro.service.index.BCCIndex` instances.  Indexes are cached in an
+LRU keyed by graph *fingerprint*: replacing a graph with a previously seen
+edge set (an update that reverts, or a no-op batch) re-hits the cache
+without recomputation.
+
+Updates are lazy.  ``add_edges``/``remove_edges`` replace the stored graph
+and append the effective delta to a per-graph pending list; the next query
+resolves it — via the O(m) incremental paths of
+:mod:`repro.service.updates` when the deltas allow, otherwise via one full
+rebuild with the configured algorithm (any name from
+``repro.api.ALGORITHMS``; default ``tv-filter``).  Consecutive updates
+between queries therefore coalesce into at most one rebuild.
+
+All work is optionally charged to a simulated :class:`repro.smp.Machine`
+under three regions — ``Service-build``, ``Service-extend``,
+``Service-query`` — so a workload's simulated cost decomposes exactly like
+the paper's Fig. 4 step breakdowns.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+from ..graph import Graph
+from ..smp import Machine, Ops
+from . import updates as upd
+from .index import BCCIndex
+from .store import GraphStore
+
+__all__ = ["QUERY_OPS", "UPDATE_OPS", "EngineStats", "ServiceEngine"]
+
+#: Point-query operations the engine serves, with the per-query cost mix
+#: charged to the simulated machine (a handful of dependent loads).
+QUERY_OPS = {
+    "same_bcc": Ops(random=6, alu=4),
+    "is_articulation": Ops(random=1, alu=1),
+    "is_bridge": Ops(random=2, alu=4),
+    "component_of_edge": Ops(random=2, alu=4),
+    "num_components": Ops(alu=1),
+}
+
+#: Batch update operations (``edges`` parameter: list of [u, v] pairs).
+UPDATE_OPS = ("add_edges", "remove_edges")
+
+#: Pending deltas per graph are capped; longer runs of unqueried updates
+#: drop the chain and force one rebuild (bounding replay memory).
+MAX_PENDING_DELTAS = 64
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated by a :class:`ServiceEngine` over its lifetime."""
+
+    queries: int = 0
+    updates: int = 0
+    noop_updates: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rebuilds: int = 0
+    incremental_extensions: int = 0
+    evictions: int = 0
+    per_op: dict = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "updates": self.updates,
+            "noop_updates": self.noop_updates,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "rebuilds": self.rebuilds,
+            "incremental_extensions": self.incremental_extensions,
+            "evictions": self.evictions,
+            "per_op": dict(self.per_op),
+        }
+
+
+@dataclass(frozen=True)
+class _Delta:
+    """One effective update: the graph/fingerprint after it, plus payload."""
+
+    kind: str  # "add" | "remove"
+    graph_after: Graph
+    fingerprint_after: str
+    a: object  # add: added_u; remove: removed edge ids (in the prior graph)
+    b: object  # add: added_v; remove: unused
+
+
+class ServiceEngine:
+    """Serve biconnectivity point queries over named, updatable graphs."""
+
+    def __init__(
+        self,
+        store: GraphStore | None = None,
+        algorithm: str = "tv-filter",
+        cache_size: int = 8,
+        machine: Machine | None = None,
+    ):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.store = store if store is not None else GraphStore()
+        self.algorithm = algorithm
+        self.cache_size = int(cache_size)
+        self.machine = machine
+        self.stats = EngineStats()
+        self._cache: OrderedDict[str, BCCIndex] = OrderedDict()
+        self._pending: dict[str, tuple[str, list[_Delta]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # graph management
+    # ------------------------------------------------------------------ #
+
+    def put_graph(self, name: str, graph: Graph):
+        """Store (or replace) a graph under ``name``."""
+        if name in self.store:
+            self._pending.pop(name, None)
+            return self.store.replace(name, graph)
+        return self.store.put(name, graph)
+
+    def graph(self, name: str) -> Graph:
+        return self.store.get(name)
+
+    # ------------------------------------------------------------------ #
+    # index resolution (cache + lazy update replay)
+    # ------------------------------------------------------------------ #
+
+    def _region(self, label: str):
+        return self.machine.region(label) if self.machine is not None else nullcontext()
+
+    def index_for(self, name: str) -> BCCIndex:
+        """The current index for ``name``: cached, replayed, or rebuilt."""
+        entry = self.store.entry(name)
+        idx = self._cache.get(entry.fingerprint)
+        if idx is not None:
+            self._cache.move_to_end(entry.fingerprint)
+            self._pending.pop(name, None)
+            self.stats.cache_hits += 1
+            return idx
+        self.stats.cache_misses += 1
+        idx = self._resolve(name, entry)
+        self._cache[idx.fingerprint] = idx
+        self._cache.move_to_end(idx.fingerprint)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return idx
+
+    def _resolve(self, name: str, entry) -> BCCIndex:
+        pending = self._pending.pop(name, None)
+        if pending is not None:
+            base_fp, deltas = pending
+            base = self._cache.get(base_fp)
+            if base is not None:
+                replayed = self._replay(base, deltas)
+                if replayed is not None:
+                    self.stats.incremental_extensions += len(deltas)
+                    return replayed
+        self.stats.rebuilds += 1
+        with self._region("Service-build"):
+            return BCCIndex.build(
+                entry.graph,
+                algorithm=self.algorithm,
+                machine=self.machine,
+                fingerprint=entry.fingerprint,
+            )
+
+    def _replay(self, idx: BCCIndex, deltas: list[_Delta]) -> BCCIndex | None:
+        with self._region("Service-extend"):
+            for d in deltas:
+                if d.kind == "add":
+                    idx = upd.extend_index(idx, d.graph_after, d.a, d.b,
+                                           fingerprint=d.fingerprint_after)
+                else:
+                    idx = upd.shrink_index(idx, d.graph_after, d.a,
+                                           fingerprint=d.fingerprint_after)
+                if idx is None:
+                    return None
+                if self.machine is not None:
+                    # one relabelling sweep over the new edge list
+                    self.machine.parallel(d.graph_after.m, Ops(contig=2, alu=1))
+        return idx
+
+    # ------------------------------------------------------------------ #
+    # updates (lazy: mark dirty, recompute on next query)
+    # ------------------------------------------------------------------ #
+
+    def _record(self, name: str, base_fp: str, delta: _Delta) -> None:
+        if name in self._pending:
+            self._pending[name][1].append(delta)
+            if len(self._pending[name][1]) > MAX_PENDING_DELTAS:
+                self._pending.pop(name)  # too long to replay; force a rebuild
+        else:
+            self._pending[name] = (base_fp, [delta])
+
+    def add_edges(self, name: str, pairs) -> int:
+        """Add a batch of edges to ``name``; returns the effective count."""
+        entry = self.store.entry(name)
+        ng, au, av = upd.apply_add_edges(entry.graph, pairs)
+        self.stats.updates += 1
+        if au.size == 0:
+            self.stats.noop_updates += 1
+            return 0
+        new_entry = self.store.replace(name, ng)
+        self._record(name, entry.fingerprint,
+                     _Delta("add", ng, new_entry.fingerprint, au, av))
+        return int(au.size)
+
+    def remove_edges(self, name: str, pairs) -> int:
+        """Remove a batch of edges from ``name``; returns the effective count."""
+        entry = self.store.entry(name)
+        ng, removed = upd.apply_remove_edges(entry.graph, pairs)
+        self.stats.updates += 1
+        if removed.size == 0:
+            self.stats.noop_updates += 1
+            return 0
+        new_entry = self.store.replace(name, ng)
+        self._record(name, entry.fingerprint,
+                     _Delta("remove", ng, new_entry.fingerprint, removed, None))
+        return int(removed.size)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, name: str, op: str, **params):
+        """Answer one point query against the (lazily refreshed) index."""
+        if op not in QUERY_OPS:
+            raise ValueError(f"unknown query op {op!r}; choose from {sorted(QUERY_OPS)}")
+        idx = self.index_for(name)
+        with self._region("Service-query"):
+            if self.machine is not None:
+                self.machine.sequential(1, QUERY_OPS[op])
+        answer = getattr(idx, op)(**params)
+        self.stats.queries += 1
+        self.stats.per_op[op] = self.stats.per_op.get(op, 0) + 1
+        return answer
+
+    def apply(self, name: str, op: dict):
+        """Execute one workload-format operation dict against ``name``.
+
+        Query ops return their answer; update ops return the effective
+        edge count.  The op dict uses the JSON-lines schema of
+        :mod:`repro.service.workload` (``{"op": ..., ...params}``).
+        """
+        kind = op["op"]
+        if kind in QUERY_OPS:
+            params = {k: v for k, v in op.items() if k != "op"}
+            return self.query(name, kind, **params)
+        if kind == "add_edges":
+            return self.add_edges(name, op["edges"])
+        if kind == "remove_edges":
+            return self.remove_edges(name, op["edges"])
+        raise ValueError(f"unknown workload op {kind!r}")
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceEngine(graphs={len(self.store)}, algorithm={self.algorithm!r}, "
+            f"cached={len(self._cache)}/{self.cache_size})"
+        )

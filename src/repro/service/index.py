@@ -1,0 +1,191 @@
+"""The BCC index: point queries over one graph's biconnected structure.
+
+Dong et al. (arXiv:2301.01356) observe that the valuable artifact of a
+biconnectivity computation is not the one-shot answer but a compact
+structure that keeps answering connectivity queries long after the parallel
+computation finishes.  A :class:`BCCIndex` is that artifact for this repo:
+it is built once per graph (via any registered algorithm from
+``repro.api.ALGORITHMS``; default ``tv-filter``, the paper's best
+performer) and then answers point queries from precomputed arrays without
+touching the pipeline again:
+
+* :meth:`~BCCIndex.same_bcc` — do two vertices share a block?
+* :meth:`~BCCIndex.is_articulation` — is a vertex a cut vertex?
+* :meth:`~BCCIndex.is_bridge` — is an edge a single-edge block?
+* :meth:`~BCCIndex.component_of_edge` — canonical block id of an edge.
+* :meth:`~BCCIndex.num_components` — total number of blocks.
+
+Every query is O(1) or O(blocks-at-vertex); the dominant precomputation is
+one sorted pass over the ``2m`` edge endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.blockcut import BlockCutTree, block_cut_tree
+from ..core.result import BCCResult
+from ..graph import Graph
+from ..smp import Machine
+
+__all__ = ["BCCIndex"]
+
+
+class BCCIndex:
+    """Immutable query index over one graph's biconnected components.
+
+    ``source`` records how the index came to be: ``"build"`` for a full
+    algorithm run, ``"extend"``/``"shrink"`` for the incremental update
+    paths of :mod:`repro.service.updates`.
+    """
+
+    __slots__ = (
+        "graph",
+        "result",
+        "fingerprint",
+        "source",
+        "_is_art",
+        "_is_bridge",
+        "_edge_keys",
+        "_vb_indptr",
+        "_vb_blocks",
+        "_bct",
+    )
+
+    def __init__(self, result: BCCResult, fingerprint: str | None = None,
+                 source: str = "build"):
+        g = result.graph
+        self.graph = g
+        self.result = result
+        if fingerprint is None:
+            from .store import graph_fingerprint
+
+            fingerprint = graph_fingerprint(g)
+        self.fingerprint = fingerprint
+        self.source = source
+        self._bct = None
+
+        self._is_art = np.zeros(g.n, dtype=bool)
+        self._is_art[result.articulation_points()] = True
+        self._is_bridge = np.zeros(g.m, dtype=bool)
+        self._is_bridge[result.bridges()] = True
+        # canonical edges are sorted lexicographically, so u*n+v is ascending
+        self._edge_keys = g.u * np.int64(max(g.n, 1)) + g.v
+        # vertex -> sorted block ids, CSR over (vertex, block) incidences
+        k = np.int64(max(result.num_components, 1))
+        if g.m:
+            vert = np.concatenate([g.u, g.v])
+            lab = np.concatenate([result.edge_labels, result.edge_labels])
+            pairs = np.unique(vert * k + lab)
+            vb_vert = pairs // k
+            self._vb_blocks = pairs % k
+            self._vb_indptr = np.searchsorted(vb_vert, np.arange(g.n + 1))
+        else:
+            self._vb_blocks = np.zeros(0, dtype=np.int64)
+            self._vb_indptr = np.zeros(g.n + 1, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        g: Graph,
+        algorithm: str = "tv-filter",
+        machine: Machine | None = None,
+        fingerprint: str | None = None,
+    ) -> "BCCIndex":
+        """Run a registered algorithm on ``g`` and index the result."""
+        from ..api import biconnected_components
+
+        result = biconnected_components(g, algorithm=algorithm, machine=machine)
+        return cls(result, fingerprint=fingerprint, source="build")
+
+    # ------------------------------------------------------------------ #
+    # point queries
+    # ------------------------------------------------------------------ #
+
+    def _check_vertex(self, v: int) -> int:
+        v = int(v)
+        if not 0 <= v < self.graph.n:
+            raise IndexError(f"vertex {v} out of range [0, {self.graph.n})")
+        return v
+
+    def blocks_of(self, v: int) -> np.ndarray:
+        """Sorted ids of the blocks containing vertex ``v``."""
+        v = self._check_vertex(v)
+        return self._vb_blocks[self._vb_indptr[v] : self._vb_indptr[v + 1]]
+
+    def edge_id(self, u: int, v: int) -> int | None:
+        """Canonical edge index of ``{u, v}``, or None if not an edge."""
+        u = self._check_vertex(u)
+        v = self._check_vertex(v)
+        lo, hi = (u, v) if u < v else (v, u)
+        probe = np.int64(lo) * np.int64(max(self.graph.n, 1)) + hi
+        i = int(np.searchsorted(self._edge_keys, probe))
+        if i < self._edge_keys.size and self._edge_keys[i] == probe:
+            return i
+        return None
+
+    def same_bcc(self, u: int, v: int) -> bool:
+        """True iff ``u`` and ``v`` belong to a common block.
+
+        Equivalently (for distinct vertices): they are adjacent or lie on
+        a common simple cycle.  ``same_bcc(v, v)`` is True iff ``v`` has
+        at least one incident edge.
+        """
+        a = self.blocks_of(u)
+        b = self.blocks_of(v)
+        if a.size == 0 or b.size == 0:
+            return False
+        if a.size == 1 and b.size == 1:  # the common case: interior vertices
+            return bool(a[0] == b[0])
+        return bool(np.intersect1d(a, b, assume_unique=True).size)
+
+    def is_articulation(self, v: int) -> bool:
+        """True iff ``v`` is a cut vertex (belongs to two or more blocks)."""
+        return bool(self._is_art[self._check_vertex(v)])
+
+    def is_bridge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge forming a single-edge block.
+
+        Non-edges return False (they are certainly not bridges).
+        """
+        i = self.edge_id(u, v)
+        return False if i is None else bool(self._is_bridge[i])
+
+    def component_of_edge(self, u: int, v: int) -> int | None:
+        """Canonical block id of edge ``{u, v}``; None for non-edges."""
+        i = self.edge_id(u, v)
+        return None if i is None else int(self.result.edge_labels[i])
+
+    def num_components(self) -> int:
+        """Number of biconnected components (blocks)."""
+        return self.result.num_components
+
+    # ------------------------------------------------------------------ #
+    # aggregates (repro info / bench)
+    # ------------------------------------------------------------------ #
+
+    def num_articulation_points(self) -> int:
+        return int(self._is_art.sum())
+
+    def num_bridges(self) -> int:
+        return int(self._is_bridge.sum())
+
+    def largest_block_edges(self) -> int:
+        sizes = self.result.component_sizes()
+        return int(sizes.max()) if sizes.size else 0
+
+    def block_cut(self) -> BlockCutTree:
+        """The block-cut forest (built lazily, cached)."""
+        if self._bct is None:
+            self._bct = block_cut_tree(self.result)
+        return self._bct
+
+    def __repr__(self) -> str:
+        return (
+            f"BCCIndex(n={self.graph.n}, m={self.graph.m}, "
+            f"blocks={self.num_components()}, source={self.source!r})"
+        )

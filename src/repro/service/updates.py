@@ -1,0 +1,190 @@
+"""Batch edge updates and incremental index maintenance.
+
+Updates never mutate a graph (``Graph`` is immutable): :func:`apply_add_edges`
+and :func:`apply_remove_edges` normalize a batch against the current edge
+set and return the replacement graph plus the *effective* delta — the edges
+that actually changed.  No-op batches (adding existing edges, removing
+absent ones) return the graph unchanged, so its fingerprint — and any
+cached index — stays valid.
+
+For effective deltas the engine marks the index dirty and recomputes
+lazily on the next query.  Two structural facts let the recompute be
+avoided entirely in the common cases (the same spirit as the paper's §4
+filtering insight, which bounds the edges that can matter — at most
+``2(n-1)`` survive into TV — instead of recomputing over all of them):
+
+* **Adding** edge ``{u, v}`` where ``u`` and ``v`` already share a block
+  ``B`` cannot change any other block: every simple u–v path stays inside
+  ``B`` (leaving ``B`` through a cut vertex would force the path to revisit
+  it), so every cycle through the new edge lies in ``B + {u, v}``.  The new
+  edge simply joins ``B`` — :func:`extend_index` relabels in O(m) without
+  running any algorithm.
+* **Removing** a bridge deletes a single-edge block and leaves the
+  partition of every remaining edge unchanged — :func:`shrink_index`.
+
+Anything else (an edge between blocks, a non-bridge removal) returns None
+and the engine falls back to a full rebuild via the registered algorithm
+(default ``tv-filter``, whose BFS filter keeps the rebuild cheap on dense
+graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import BCCResult
+from ..graph import Graph
+from .index import BCCIndex
+
+__all__ = [
+    "normalize_pairs",
+    "apply_add_edges",
+    "apply_remove_edges",
+    "extend_index",
+    "shrink_index",
+]
+
+
+def normalize_pairs(n: int, pairs) -> tuple[np.ndarray, np.ndarray]:
+    """Canonicalize a batch of vertex pairs: ``lo < hi``, unique, in range.
+
+    Self-loops are dropped (a simple graph has none to add or remove).
+    """
+    arr = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray) else pairs,
+                     dtype=np.int64)
+    if arr.size == 0:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    arr = arr.reshape(-1, 2)
+    if (arr < 0).any() or (arr >= n).any():
+        raise ValueError(f"edge endpoint out of range [0, {n})")
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    if lo.size:
+        key = lo * np.int64(n) + hi
+        _, idx = np.unique(key, return_index=True)
+        lo, hi = lo[idx], hi[idx]
+    return lo, hi
+
+
+def _edge_keys(g: Graph) -> np.ndarray:
+    return g.u * np.int64(max(g.n, 1)) + g.v
+
+
+def apply_add_edges(g: Graph, pairs) -> tuple[Graph, np.ndarray, np.ndarray]:
+    """Add a batch of edges; returns ``(new_graph, added_u, added_v)``.
+
+    ``added_u/added_v`` hold only the *effective* additions (canonical
+    ``u < v``, not previously present).  When the batch is a no-op the
+    original graph object is returned unchanged.
+    """
+    lo, hi = normalize_pairs(g.n, pairs)
+    if lo.size and g.m:
+        keys = _edge_keys(g)
+        probe = lo * np.int64(g.n) + hi
+        pos = np.minimum(np.searchsorted(keys, probe), g.m - 1)
+        new = keys[pos] != probe
+        lo, hi = lo[new], hi[new]
+    if lo.size == 0:
+        return g, lo, hi
+    ng = Graph(
+        g.n,
+        np.concatenate([g.u, lo]),
+        np.concatenate([g.v, hi]),
+    )
+    return ng, lo, hi
+
+
+def apply_remove_edges(g: Graph, pairs) -> tuple[Graph, np.ndarray]:
+    """Remove a batch of edges; returns ``(new_graph, removed_edge_ids)``.
+
+    ``removed_edge_ids`` are canonical edge indices *in the old graph*.
+    Pairs that are not edges are ignored; a fully no-op batch returns the
+    original graph object unchanged.
+    """
+    lo, hi = normalize_pairs(g.n, pairs)
+    if lo.size == 0 or g.m == 0:
+        return g, np.zeros(0, np.int64)
+    keys = _edge_keys(g)
+    probe = lo * np.int64(g.n) + hi
+    pos = np.minimum(np.searchsorted(keys, probe), g.m - 1)
+    present = keys[pos] == probe
+    removed = pos[present]
+    if removed.size == 0:
+        return g, removed
+    mask = np.zeros(g.m, dtype=bool)
+    mask[removed] = True
+    return g.subgraph_without_edges(mask), removed
+
+
+def extend_index(
+    index: BCCIndex,
+    new_graph: Graph,
+    added_u: np.ndarray,
+    added_v: np.ndarray,
+    fingerprint: str | None = None,
+) -> BCCIndex | None:
+    """Index for ``new_graph`` (= index.graph + added edges) without recompute.
+
+    Succeeds only when every added edge's endpoints already share a block
+    (see module docstring for why that makes the relabelling exact);
+    otherwise returns None and the caller must rebuild.
+    """
+    g = index.graph
+    if new_graph.n != g.n:
+        return None
+    # each added edge must fall inside one existing block
+    added_labels = np.empty(added_u.size, dtype=np.int64)
+    for i in range(added_u.size):
+        a = index.blocks_of(int(added_u[i]))
+        b = index.blocks_of(int(added_v[i]))
+        common = np.intersect1d(a, b, assume_unique=True)
+        if common.size == 0:
+            return None
+        added_labels[i] = common[0]
+    n = np.int64(max(g.n, 1))
+    new_keys = new_graph.u * n + new_graph.v
+    if g.m:
+        old_keys = index._edge_keys
+        pos = np.minimum(np.searchsorted(old_keys, new_keys), g.m - 1)
+        from_old = old_keys[pos] == new_keys
+    else:
+        pos = np.zeros(new_graph.m, np.int64)
+        from_old = np.zeros(new_graph.m, dtype=bool)
+    labels = np.empty(new_graph.m, dtype=np.int64)
+    labels[from_old] = index.result.edge_labels[pos[from_old]]
+    # the added edges appear among new_keys in sorted key order
+    added_keys = added_u * n + added_v
+    order = np.argsort(added_keys)
+    if not np.array_equal(new_keys[~from_old], added_keys[order]):
+        return None  # shouldn't happen; bail out to a rebuild rather than corrupt
+    labels[~from_old] = added_labels[order]
+    result = BCCResult(new_graph, labels, algorithm=index.result.algorithm)
+    return BCCIndex(result, fingerprint=fingerprint, source="extend")
+
+
+def shrink_index(
+    index: BCCIndex,
+    new_graph: Graph,
+    removed_ids: np.ndarray,
+    fingerprint: str | None = None,
+) -> BCCIndex | None:
+    """Index for ``new_graph`` (= index.graph − removed edges) without recompute.
+
+    Succeeds only when every removed edge is a bridge (its block simply
+    disappears; all other labels are untouched).  ``removed_ids`` are edge
+    indices in ``index.graph``.
+    """
+    g = index.graph
+    if new_graph.n != g.n or removed_ids.size == 0:
+        return None
+    if not index._is_bridge[removed_ids].all():
+        return None
+    keep = np.ones(g.m, dtype=bool)
+    keep[removed_ids] = False
+    if new_graph.m != int(keep.sum()):
+        return None
+    labels = index.result.edge_labels[keep]
+    result = BCCResult(new_graph, labels, algorithm=index.result.algorithm)
+    return BCCIndex(result, fingerprint=fingerprint, source="shrink")

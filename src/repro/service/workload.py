@@ -1,0 +1,244 @@
+"""Seeded workload generation: JSON-lines op streams for the engine.
+
+Follows the graphdb-benchmarks workload-generator idiom: a workload is a
+flat stream of self-describing operation dicts drawn from a configurable
+op mix, serialized one per line so streams of any size can be produced and
+consumed without holding them in memory twice.  The first line is a header
+carrying the full :class:`WorkloadSpec` (including the graph spec), making
+a saved workload self-contained: ``load_workload`` + ``instance_graph``
+reproduce the exact run.
+
+File format (JSON lines)::
+
+    {"workload": 1, "spec": {"num_ops": 1000, "seed": 7, "mix": {...},
+                             "vertex_dist": "uniform", "skew": 3.0,
+                             "batch_size": 4, "edge_bias": 0.25,
+                             "graph": {"family": "connected-gnm",
+                                       "n": 2000, "m": 8000, "seed": 7}}}
+    {"op": "same_bcc", "u": 17, "v": 942}
+    {"op": "is_articulation", "v": 3}
+    {"op": "add_edges", "edges": [[5, 99], [12, 40]]}
+    {"op": "remove_edges", "edges": [[5, 99]]}
+    ...
+
+Vertex choice is either ``uniform`` or ``skewed`` (polynomial skew toward
+low vertex ids, a Zipf-like hot set: ``v = floor(n * U**skew)`` for
+``U ~ Uniform(0, 1)``).  ``edge_bias`` is the probability that edge-shaped
+ops (``is_bridge``, ``component_of_edge``, ``remove_edges``) sample a real
+edge of the initial graph rather than a random pair — random pairs in a
+sparse graph are almost never edges, so the bias controls how often
+removals actually take effect (and therefore how much index maintenance
+the engine must do).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..graph import Graph
+from ..graph.io import read_graph
+from .store import make_graph
+
+__all__ = [
+    "QUERY_OP_NAMES",
+    "UPDATE_OP_NAMES",
+    "DEFAULT_MIX",
+    "mix_with_update_fraction",
+    "WorkloadSpec",
+    "Workload",
+    "instance_graph",
+    "generate_workload",
+    "save_workload",
+    "load_workload",
+]
+
+QUERY_OP_NAMES = (
+    "same_bcc",
+    "is_articulation",
+    "is_bridge",
+    "component_of_edge",
+    "num_components",
+)
+UPDATE_OP_NAMES = ("add_edges", "remove_edges")
+
+#: Default op mix: 90% point queries / 10% batch updates.
+DEFAULT_MIX = {
+    "same_bcc": 0.40,
+    "is_articulation": 0.12,
+    "is_bridge": 0.12,
+    "component_of_edge": 0.18,
+    "num_components": 0.08,
+    "add_edges": 0.06,
+    "remove_edges": 0.04,
+}
+
+
+def mix_with_update_fraction(update_frac: float, base: dict | None = None) -> dict:
+    """Rescale a mix so update ops carry ``update_frac`` of the weight."""
+    if not 0.0 <= update_frac <= 1.0:
+        raise ValueError(f"update_frac must be in [0, 1], got {update_frac}")
+    base = dict(base or DEFAULT_MIX)
+    q = sum(w for k, w in base.items() if k in QUERY_OP_NAMES)
+    u = sum(w for k, w in base.items() if k in UPDATE_OP_NAMES)
+    out = {}
+    for k, w in base.items():
+        if k in UPDATE_OP_NAMES:
+            out[k] = w / u * update_frac if u else 0.0
+        else:
+            out[k] = w / q * (1.0 - update_frac) if q else 0.0
+    return out
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything needed to (re)generate a workload deterministically."""
+
+    num_ops: int = 1000
+    seed: int = 0
+    mix: dict = field(default_factory=lambda: dict(DEFAULT_MIX))
+    vertex_dist: str = "uniform"  # "uniform" | "skewed"
+    skew: float = 3.0
+    batch_size: int = 4  # max edges per update batch
+    edge_bias: float = 0.25
+    #: Graph spec: {"family", "n", "m", "seed"} for a generated instance,
+    #: or {"path": "..."} for a graph file.  None means the caller supplies
+    #: the graph at generation/run time.
+    graph: dict | None = None
+
+    def __post_init__(self):
+        if self.num_ops < 0:
+            raise ValueError("num_ops must be >= 0")
+        if self.vertex_dist not in ("uniform", "skewed"):
+            raise ValueError(f"vertex_dist must be uniform|skewed, got {self.vertex_dist!r}")
+        unknown = set(self.mix) - set(QUERY_OP_NAMES) - set(UPDATE_OP_NAMES)
+        if unknown:
+            raise ValueError(f"unknown ops in mix: {sorted(unknown)}")
+        if any(w < 0 for w in self.mix.values()) or sum(self.mix.values()) <= 0:
+            raise ValueError("mix weights must be >= 0 and sum to > 0")
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadSpec":
+        return cls(**d)
+
+
+@dataclass
+class Workload:
+    """A spec plus the materialized op stream it generated."""
+
+    spec: WorkloadSpec
+    ops: list[dict]
+
+    @property
+    def num_queries(self) -> int:
+        return sum(1 for op in self.ops if op["op"] in QUERY_OP_NAMES)
+
+    @property
+    def num_updates(self) -> int:
+        return sum(1 for op in self.ops if op["op"] in UPDATE_OP_NAMES)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def instance_graph(spec: WorkloadSpec) -> Graph:
+    """Materialize the graph named by a workload spec's graph entry."""
+    if spec.graph is None:
+        raise ValueError("workload spec has no graph entry; pass a graph explicitly")
+    if "path" in spec.graph:
+        return read_graph(spec.graph["path"])
+    return make_graph(
+        spec.graph["family"],
+        spec.graph["n"],
+        m=spec.graph.get("m", 0),
+        seed=spec.graph.get("seed", 0),
+    )
+
+
+def generate_workload(spec: WorkloadSpec, graph: Graph | None = None) -> Workload:
+    """Generate the op stream for ``spec`` (seeded, hence reproducible).
+
+    The graph is needed to size the vertex universe and to sample real
+    edges for edge-biased ops; it is materialized from ``spec.graph``
+    unless passed explicitly.
+    """
+    if graph is None:
+        graph = instance_graph(spec)
+    n = graph.n
+    if n < 2:
+        raise ValueError("workload generation needs a graph with >= 2 vertices")
+    rng = np.random.default_rng(spec.seed)
+    names = sorted(spec.mix)
+    weights = np.array([spec.mix[k] for k in names], dtype=float)
+    weights = weights / weights.sum()
+    kinds = rng.choice(names, size=spec.num_ops, p=weights)
+
+    def vertex() -> int:
+        if spec.vertex_dist == "skewed":
+            return int(n * rng.random() ** spec.skew)
+        return int(rng.integers(0, n))
+
+    def pair(edge_shaped: bool) -> tuple[int, int]:
+        if edge_shaped and graph.m and rng.random() < spec.edge_bias:
+            i = int(rng.integers(0, graph.m))
+            return int(graph.u[i]), int(graph.v[i])
+        return vertex(), vertex()
+
+    ops: list[dict] = []
+    for kind in kinds:
+        if kind == "same_bcc":
+            u, v = pair(edge_shaped=False)
+            ops.append({"op": kind, "u": u, "v": v})
+        elif kind == "is_articulation":
+            ops.append({"op": kind, "v": vertex()})
+        elif kind in ("is_bridge", "component_of_edge"):
+            u, v = pair(edge_shaped=True)
+            ops.append({"op": kind, "u": u, "v": v})
+        elif kind == "num_components":
+            ops.append({"op": kind})
+        elif kind == "add_edges":
+            k = int(rng.integers(1, spec.batch_size + 1))
+            ops.append({"op": kind,
+                        "edges": [list(pair(edge_shaped=False)) for _ in range(k)]})
+        elif kind == "remove_edges":
+            k = int(rng.integers(1, spec.batch_size + 1))
+            ops.append({"op": kind,
+                        "edges": [list(pair(edge_shaped=True)) for _ in range(k)]})
+    return Workload(spec, ops)
+
+
+def save_workload(workload: Workload, path) -> None:
+    """Write the JSON-lines format (header line, then one op per line)."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps({"workload": 1, "spec": workload.spec.as_dict()}) + "\n")
+        for op in workload.ops:
+            f.write(json.dumps(op) + "\n")
+
+
+def load_workload(path) -> Workload:
+    """Read the format produced by :func:`save_workload` (round-trips)."""
+    with open(path, "r", encoding="utf-8") as f:
+        header_line = f.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad workload header: {exc}") from None
+        if header.get("workload") != 1 or "spec" not in header:
+            raise ValueError("not a workload file (missing {'workload': 1} header)")
+        spec = WorkloadSpec.from_dict(header["spec"])
+        ops = []
+        for lineno, raw in enumerate(f, start=2):
+            line = raw.strip()
+            if not line:
+                continue
+            op = json.loads(line)
+            kind = op.get("op")
+            if kind not in QUERY_OP_NAMES and kind not in UPDATE_OP_NAMES:
+                raise ValueError(f"line {lineno}: unknown op {kind!r}")
+            ops.append(op)
+    return Workload(spec, ops)

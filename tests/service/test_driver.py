@@ -1,0 +1,105 @@
+"""Tests for the workload driver: measurement, verification, acceptance run."""
+
+import json
+
+import pytest
+
+from repro.core.tarjan import tarjan_bcc
+from repro.graph import generators as gen
+from repro.service.driver import oracle_answer, run_workload
+from repro.service.engine import ServiceEngine
+from repro.service.workload import WorkloadSpec, generate_workload, mix_with_update_fraction
+from repro.smp import e4500
+
+SPEC = WorkloadSpec(
+    num_ops=400,
+    seed=3,
+    graph={"family": "connected-gnm", "n": 120, "m": 360, "seed": 3},
+)
+
+
+class TestOracleAnswer:
+    def test_unknown_op(self):
+        res = tarjan_bcc(gen.cycle_graph(4))
+        with pytest.raises(ValueError, match="unknown query op"):
+            oracle_answer(res, {"op": "pagerank"})
+
+    def test_non_edge_answers(self):
+        res = tarjan_bcc(gen.path_graph(4))
+        assert oracle_answer(res, {"op": "is_bridge", "u": 0, "v": 3}) is False
+        assert oracle_answer(res, {"op": "component_of_edge", "u": 0, "v": 3}) is None
+
+
+class TestRunWorkload:
+    def test_verified_run(self):
+        wl = generate_workload(SPEC)
+        rep = run_workload(wl, verify=True)
+        assert rep.verified is True and rep.mismatches == 0
+        assert rep.num_ops == 400
+        assert rep.num_queries + rep.num_updates == 400
+        assert rep.throughput_ops_s > 0 and rep.wall_s > 0
+        assert rep.cache_hit_rate > 0
+        assert rep.graph_n == 120 and rep.graph_m == 360
+
+    def test_latency_percentiles(self):
+        rep = run_workload(generate_workload(SPEC))
+        assert rep.verified is None  # verification off by default
+        assert rep.query_p99_us >= rep.query_p95_us >= rep.query_p50_us > 0
+        for op, lat in rep.latency_us.items():
+            assert lat["count"] > 0
+            assert lat["p99_us"] >= lat["p50_us"] > 0
+
+    def test_simulated_machine(self):
+        rep = run_workload(generate_workload(SPEC), machine=e4500(8))
+        assert rep.p == 8
+        assert rep.sim_time_s > 0
+        assert set(rep.sim_regions) <= {"Service-build", "Service-extend", "Service-query"}
+        assert rep.sim_regions["Service-build"] > 0
+
+    def test_report_is_json_serializable(self):
+        rep = run_workload(generate_workload(SPEC), machine=e4500(4), verify=True)
+        doc = json.loads(json.dumps(rep.as_dict()))
+        assert doc["verified"] is True
+        assert doc["algorithm"] == "tv-filter"
+
+    def test_explicit_graph_overrides_header(self):
+        wl = generate_workload(SPEC)
+        g = gen.random_connected_gnm(120, 360, seed=99)
+        rep = run_workload(wl, graph=g, verify=True)
+        assert rep.verified is True
+
+    def test_reuses_passed_engine(self):
+        eng = ServiceEngine(algorithm="tv-smp", cache_size=2)
+        rep = run_workload(generate_workload(SPEC), engine=eng)
+        assert rep.algorithm == "tv-smp"
+        assert eng.stats.queries == rep.num_queries
+
+    def test_alternate_algorithm_verifies(self):
+        spec = WorkloadSpec(num_ops=150, seed=5,
+                            graph={"family": "gnm", "n": 60, "m": 120, "seed": 5})
+        rep = run_workload(generate_workload(spec), algorithm="tv-opt", verify=True)
+        assert rep.verified is True and rep.mismatches == 0
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    def test_10k_ops_mixed_workload(self):
+        """ISSUE acceptance: seeded 10k-op 90/10 workload at n=10k, m=n*log2(n)."""
+        n = 10_000
+        spec = WorkloadSpec(
+            num_ops=10_000,
+            seed=42,
+            mix=mix_with_update_fraction(0.1),
+            edge_bias=0.05,
+            graph={"family": "connected-gnm", "n": n, "m": n * 13, "seed": 42},
+        )
+        wl = generate_workload(spec)
+        assert wl.num_updates == pytest.approx(1000, rel=0.2)
+        rep = run_workload(wl, machine=e4500(12))
+        assert rep.num_ops == 10_000
+        assert rep.query_p99_us > 0  # p99 query latency is reported
+        assert rep.cache_hit_rate > 0
+        assert rep.throughput_ops_s > 0
+        assert rep.rebuilds >= 1
+        # index maintenance avoided most rebuilds
+        assert rep.incremental_extensions > rep.rebuilds

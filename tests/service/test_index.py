@@ -1,0 +1,110 @@
+"""Tests for the BCC point-query index against brute-force oracles."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS
+from repro.core.blockcut import BlockCutTree
+from repro.core.tarjan import tarjan_bcc
+from repro.graph import Graph, generators as gen
+from repro.service.driver import oracle_answer
+from repro.service.index import BCCIndex
+from tests.conftest import graph_corpus, nx_articulation_points, nx_bridges
+
+
+def exhaustive_check(g: Graph, idx: BCCIndex) -> None:
+    """Every point query must match the from-scratch oracle."""
+    res = tarjan_bcc(g)
+    assert idx.num_components() == res.num_components
+    for v in range(g.n):
+        assert idx.is_articulation(v) == oracle_answer(res, {"op": "is_articulation", "v": v})
+    for u, v in g.edges().tolist():
+        assert idx.is_bridge(u, v) == oracle_answer(res, {"op": "is_bridge", "u": u, "v": v})
+        assert idx.component_of_edge(u, v) == oracle_answer(
+            res, {"op": "component_of_edge", "u": u, "v": v}
+        )
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, max(g.n, 1), size=(min(60, g.n * g.n), 2))
+    for u, v in pairs.tolist():
+        op = {"op": "same_bcc", "u": u, "v": v}
+        assert idx.same_bcc(u, v) == oracle_answer(res, op), (u, v)
+        # non-edges are never bridges and have no component
+        if idx.edge_id(u, v) is None:
+            assert not idx.is_bridge(u, v)
+            assert idx.component_of_edge(u, v) is None
+
+
+@pytest.mark.parametrize("label,g", graph_corpus(), ids=lambda x: x if isinstance(x, str) else "")
+def test_corpus_queries_match_oracle(label, g):
+    if g.n == 0:
+        idx = BCCIndex.build(g)
+        assert idx.num_components() == 0
+        return
+    exhaustive_check(g, BCCIndex.build(g))
+
+
+def test_aggregates_match_networkx():
+    g = gen.cliques_on_a_path(4, 5)[0]
+    idx = BCCIndex.build(g)
+    assert idx.num_articulation_points() == nx_articulation_points(g).size
+    assert idx.num_bridges() == nx_bridges(g).size
+    sizes = idx.result.component_sizes()
+    assert idx.largest_block_edges() == int(sizes.max())
+
+
+def test_all_algorithms_build_identical_indexes():
+    g = gen.random_gnm(80, 160, seed=5)
+    base = BCCIndex.build(g, algorithm="sequential")
+    for name in sorted(ALGORITHMS):
+        idx = BCCIndex.build(g, algorithm=name)
+        np.testing.assert_array_equal(idx.result.edge_labels, base.result.edge_labels)
+        np.testing.assert_array_equal(idx._is_art, base._is_art)
+        np.testing.assert_array_equal(idx._is_bridge, base._is_bridge)
+
+
+def test_edge_id():
+    g = Graph(5, [0, 0, 2], [1, 3, 4])
+    idx = BCCIndex.build(g)
+    assert idx.edge_id(0, 1) == 0
+    assert idx.edge_id(1, 0) == 0  # orientation-insensitive
+    assert idx.edge_id(4, 2) == 2
+    assert idx.edge_id(1, 2) is None
+    assert idx.edge_id(0, 0) is None
+
+
+def test_vertex_out_of_range():
+    idx = BCCIndex.build(gen.cycle_graph(4))
+    with pytest.raises(IndexError, match="out of range"):
+        idx.is_articulation(4)
+    with pytest.raises(IndexError):
+        idx.same_bcc(0, -1)
+
+
+def test_blocks_of():
+    # path 0-1-2: vertex 1 is the cut vertex in both blocks
+    idx = BCCIndex.build(gen.path_graph(3))
+    assert idx.blocks_of(0).tolist() == [0]
+    assert sorted(idx.blocks_of(1).tolist()) == [0, 1]
+    assert idx.same_bcc(0, 1) and not idx.same_bcc(0, 2)
+
+
+def test_same_bcc_isolated_and_self():
+    g = Graph(3, [0], [1])  # vertex 2 isolated
+    idx = BCCIndex.build(g)
+    assert idx.same_bcc(0, 0)  # has an incident edge
+    assert not idx.same_bcc(2, 2)  # isolated
+    assert not idx.same_bcc(0, 2)
+
+
+def test_block_cut_lazy_and_cached():
+    idx = BCCIndex.build(gen.path_graph(5))
+    assert idx._bct is None
+    bct = idx.block_cut()
+    assert isinstance(bct, BlockCutTree)
+    assert idx.block_cut() is bct
+
+
+def test_source_and_repr():
+    idx = BCCIndex.build(gen.cycle_graph(5))
+    assert idx.source == "build"
+    assert "blocks=1" in repr(idx)

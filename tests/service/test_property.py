@@ -1,0 +1,72 @@
+"""Property test: BCCIndex answers match brute-force recomputation.
+
+A hypothesis rule-based machine drives a :class:`ServiceEngine` through
+randomized add/remove batches; after every step the full query surface —
+``same_bcc``, ``is_articulation``, ``is_bridge``, ``component_of_edge``,
+``num_components`` — must agree with a from-scratch sequential Tarjan run
+plus a fresh block-cut tree (:func:`repro.service.driver.oracle_answer`).
+This is the ground truth for the engine's cache/replay machinery: whatever
+path produced the served index (full build, incremental extend/shrink,
+LRU hit after a revert), the answers must be indistinguishable.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.tarjan import tarjan_bcc
+from repro.graph import generators as gen
+from repro.service.engine import ServiceEngine
+
+N = 12  # small vertex count keeps the Tarjan oracle cheap over many steps
+
+pair = st.tuples(st.integers(0, N - 1), st.integers(0, N - 1))
+
+
+class ServiceOracleMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2**16))
+    def start(self, seed):
+        self.engine = ServiceEngine(cache_size=3)
+        self.engine.put_graph("g", gen.random_gnm(N, 14, seed=seed))
+
+    @rule(batch=st.lists(pair, min_size=1, max_size=4))
+    def add_edges(self, batch):
+        self.engine.add_edges("g", batch)
+
+    @rule(batch=st.lists(pair, min_size=1, max_size=4))
+    def remove_edges(self, batch):
+        self.engine.remove_edges("g", batch)
+
+    @rule(data=st.data())
+    def remove_existing_edge(self, data):
+        # target a real edge so removals (bridges included) actually happen
+        g = self.engine.graph("g")
+        if g.m:
+            i = data.draw(st.integers(0, g.m - 1))
+            self.engine.remove_edges("g", [(int(g.u[i]), int(g.v[i]))])
+
+    @invariant()
+    def every_query_matches_recompute(self):
+        eng = self.engine
+        g = eng.graph("g")
+        res = tarjan_bcc(g)
+        assert eng.query("g", "num_components") == res.num_components
+        cuts = set(res.articulation_points().tolist())
+        for v in range(N):
+            assert eng.query("g", "is_articulation", v=v) == (v in cuts)
+        bridges = set(res.bridges().tolist())
+        for i, (u, v) in enumerate(g.edges().tolist()):
+            assert eng.query("g", "is_bridge", u=u, v=v) == (i in bridges)
+            assert eng.query("g", "component_of_edge", u=u, v=v) == int(res.edge_labels[i])
+        for u in range(N):
+            blocks_u = res.blocks_of_vertex(u)
+            for v in range(u, N):
+                expect = bool(np.intersect1d(blocks_u, res.blocks_of_vertex(v)).size)
+                assert eng.query("g", "same_bcc", u=u, v=v) == expect, (u, v)
+
+
+ServiceOracleMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=10, deadline=None
+)
+TestServiceOracle = ServiceOracleMachine.TestCase

@@ -1,0 +1,111 @@
+"""Tests for the named graph store and content fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, generators as gen
+from repro.graph.io import write_edgelist
+from repro.service.store import (
+    GRAPH_FAMILIES,
+    GraphStore,
+    graph_fingerprint,
+    make_graph,
+)
+
+
+class TestFingerprint:
+    def test_content_addressed(self):
+        # same edge set, different construction order -> same hash
+        a = Graph(4, [0, 1, 2], [1, 2, 3])
+        b = Graph(4, [2, 0, 1], [3, 1, 2])
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_sensitive_to_edges(self):
+        a = Graph(4, [0, 1], [1, 2])
+        b = Graph(4, [0, 1], [1, 3])
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_sensitive_to_vertex_count(self):
+        # same edges, one extra isolated vertex
+        a = Graph(3, [0, 1], [1, 2])
+        b = Graph(4, [0, 1], [1, 2])
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_empty_graphs_distinct(self):
+        assert graph_fingerprint(Graph(0, [], [])) != graph_fingerprint(Graph(1, [], []))
+
+
+class TestGraphStore:
+    def test_put_get_entry(self):
+        store = GraphStore()
+        g = gen.cycle_graph(5)
+        entry = store.put("c5", g)
+        assert entry.name == "c5" and entry.version == 1
+        assert entry.n == 5 and entry.m == 5
+        assert store.get("c5") is g
+        assert "c5" in store and len(store) == 1
+        assert store.names() == ["c5"]
+
+    def test_put_duplicate_name_errors(self):
+        store = GraphStore()
+        store.put("g", gen.cycle_graph(3))
+        with pytest.raises(KeyError, match="already stored"):
+            store.put("g", gen.cycle_graph(4))
+
+    def test_replace_bumps_version(self):
+        store = GraphStore()
+        store.put("g", gen.cycle_graph(3))
+        entry = store.replace("g", gen.cycle_graph(4))
+        assert entry.version == 2
+        assert store.get("g").n == 4
+
+    def test_replace_with_same_content_same_fingerprint(self):
+        store = GraphStore()
+        e1 = store.put("g", gen.cycle_graph(3))
+        e2 = store.replace("g", gen.cycle_graph(3))
+        assert e1.fingerprint == e2.fingerprint and e2.version == 2
+
+    def test_missing_name_errors(self):
+        store = GraphStore()
+        with pytest.raises(KeyError, match="no graph named"):
+            store.get("nope")
+
+    def test_remove(self):
+        store = GraphStore()
+        store.put("g", gen.cycle_graph(3))
+        store.remove("g")
+        assert "g" not in store and len(store) == 0
+        with pytest.raises(KeyError):
+            store.remove("g")
+
+    def test_load_from_file(self, tmp_path):
+        g = gen.random_connected_gnm(20, 40, seed=3)
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        store = GraphStore()
+        entry = store.load("disk", str(path))
+        assert entry.fingerprint == graph_fingerprint(g)
+
+    def test_generate(self):
+        store = GraphStore()
+        entry = store.generate("r", "connected-gnm", 30, m=60, seed=1)
+        assert entry.n == 30 and entry.m == 60
+
+
+class TestMakeGraph:
+    @pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+    def test_every_family_instantiates(self, family):
+        g = make_graph(family, 16, m=32, seed=2)
+        assert g.n >= 1 and g.m >= 0
+        if g.m:
+            assert bool((g.u < g.v).all())  # canonical edges
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            make_graph("hypercube", 8)
+
+    def test_deterministic(self):
+        a = make_graph("gnm", 50, m=100, seed=7)
+        b = make_graph("gnm", 50, m=100, seed=7)
+        np.testing.assert_array_equal(a.u, b.u)
+        np.testing.assert_array_equal(a.v, b.v)

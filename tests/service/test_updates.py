@@ -1,0 +1,160 @@
+"""Tests for batch edge updates and incremental index maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.tarjan import tarjan_bcc
+from repro.graph import Graph, generators as gen
+from repro.service.index import BCCIndex
+from repro.service.store import graph_fingerprint
+from repro.service.updates import (
+    apply_add_edges,
+    apply_remove_edges,
+    extend_index,
+    normalize_pairs,
+    shrink_index,
+)
+
+
+def assert_index_fresh(idx: BCCIndex) -> None:
+    """An incrementally maintained index must equal a from-scratch one."""
+    fresh = BCCIndex.build(idx.graph, algorithm="sequential")
+    # BCCResult canonicalizes labels by first occurrence, so identical
+    # partitions mean identical label arrays
+    np.testing.assert_array_equal(idx.result.edge_labels, fresh.result.edge_labels)
+    np.testing.assert_array_equal(idx._is_art, fresh._is_art)
+    np.testing.assert_array_equal(idx._is_bridge, fresh._is_bridge)
+    assert idx.num_components() == fresh.num_components()
+
+
+class TestNormalizePairs:
+    def test_canonical_unique(self):
+        lo, hi = normalize_pairs(10, [(3, 1), (1, 3), (5, 2), (4, 4)])
+        assert lo.tolist() == [1, 2] and hi.tolist() == [3, 5]
+
+    def test_empty(self):
+        lo, hi = normalize_pairs(10, [])
+        assert lo.size == 0 and hi.size == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            normalize_pairs(5, [(0, 5)])
+        with pytest.raises(ValueError, match="out of range"):
+            normalize_pairs(5, [(-1, 2)])
+
+
+class TestApplyAddEdges:
+    def test_noop_returns_same_object(self):
+        g = gen.cycle_graph(5)
+        ng, lo, hi = apply_add_edges(g, [(0, 1), (1, 0), (2, 2)])
+        assert ng is g and lo.size == 0
+
+    def test_effective_only(self):
+        g = gen.path_graph(4)  # 0-1-2-3
+        ng, lo, hi = apply_add_edges(g, [(0, 1), (0, 3), (3, 0)])
+        assert lo.tolist() == [0] and hi.tolist() == [3]
+        assert ng.m == g.m + 1
+        assert graph_fingerprint(ng) != graph_fingerprint(g)
+
+    def test_add_to_empty_graph(self):
+        g = Graph(4, [], [])
+        ng, lo, hi = apply_add_edges(g, [(2, 0)])
+        assert ng.m == 1 and lo.tolist() == [0] and hi.tolist() == [2]
+
+
+class TestApplyRemoveEdges:
+    def test_noop_returns_same_object(self):
+        g = gen.path_graph(4)
+        ng, removed = apply_remove_edges(g, [(0, 2), (1, 3)])
+        assert ng is g and removed.size == 0
+
+    def test_removes_and_reports_old_ids(self):
+        g = gen.path_graph(4)  # edges (0,1)=0 (1,2)=1 (2,3)=2
+        ng, removed = apply_remove_edges(g, [(2, 1), (1, 2)])  # dupes collapse
+        assert removed.tolist() == [1]
+        assert ng.m == 2
+        assert ng.edges().tolist() == [[0, 1], [2, 3]]
+
+
+class TestExtendIndex:
+    def test_chord_inside_block(self):
+        g = gen.cycle_graph(6)
+        idx = BCCIndex.build(g)
+        ng, au, av = apply_add_edges(g, [(0, 3)])
+        out = extend_index(idx, ng, au, av, fingerprint=graph_fingerprint(ng))
+        assert out is not None and out.source == "extend"
+        assert out.fingerprint == graph_fingerprint(ng)
+        assert_index_fresh(out)
+
+    def test_parallel_inside_clique(self):
+        g, _ = gen.cliques_on_a_path(3, 4)
+        idx = BCCIndex.build(g)
+        # both endpoints interior to one clique block: pick a clique edge's
+        # endpoints, already adjacent -> add a fresh pair inside the block
+        res = tarjan_bcc(g)
+        lab0 = res.edge_labels == res.edge_labels[0]
+        verts = np.unique(np.concatenate([g.u[lab0], g.v[lab0]]))
+        ng, au, av = apply_add_edges(g, [(int(verts[0]), int(verts[-1]))])
+        if au.size:  # not already an edge
+            out = extend_index(idx, ng, au, av)
+            assert out is not None
+            assert_index_fresh(out)
+
+    def test_edge_between_blocks_bails(self):
+        g = gen.path_graph(3)  # blocks {0,1} and {1,2}
+        idx = BCCIndex.build(g)
+        ng, au, av = apply_add_edges(g, [(0, 2)])
+        assert extend_index(idx, ng, au, av) is None
+
+    def test_edge_between_components_bails(self):
+        g = Graph(4, [0, 2], [1, 3])
+        idx = BCCIndex.build(g)
+        ng, au, av = apply_add_edges(g, [(1, 2)])
+        assert extend_index(idx, ng, au, av) is None
+
+    def test_vertex_count_mismatch_bails(self):
+        g = gen.cycle_graph(4)
+        idx = BCCIndex.build(g)
+        ng = Graph(5, g.u, g.v)
+        assert extend_index(idx, ng, np.array([], np.int64), np.array([], np.int64)) is None
+
+    def test_multiple_chords_one_batch(self):
+        g = gen.cycle_graph(8)
+        idx = BCCIndex.build(g)
+        ng, au, av = apply_add_edges(g, [(0, 4), (1, 5), (2, 6)])
+        out = extend_index(idx, ng, au, av)
+        assert out is not None
+        assert_index_fresh(out)
+
+
+class TestShrinkIndex:
+    def test_remove_bridge(self):
+        g = gen.path_graph(5)
+        idx = BCCIndex.build(g)
+        ng, removed = apply_remove_edges(g, [(1, 2)])
+        out = shrink_index(idx, ng, removed, fingerprint=graph_fingerprint(ng))
+        assert out is not None and out.source == "shrink"
+        assert_index_fresh(out)
+
+    def test_remove_two_bridges(self):
+        g = gen.path_graph(6)
+        idx = BCCIndex.build(g)
+        ng, removed = apply_remove_edges(g, [(0, 1), (4, 5)])
+        out = shrink_index(idx, ng, removed)
+        assert out is not None
+        assert_index_fresh(out)
+
+    def test_remove_cycle_edge_bails(self):
+        g = gen.cycle_graph(5)
+        idx = BCCIndex.build(g)
+        ng, removed = apply_remove_edges(g, [(0, 1)])
+        assert shrink_index(idx, ng, removed) is None
+
+    def test_mixed_batch_bails(self):
+        # one bridge + one cycle edge: must fall back to a rebuild
+        g = Graph(5, [0, 1, 2, 0, 0], [1, 2, 3, 3, 4])  # 4-cycle + pendant 0-4
+        idx = BCCIndex.build(g)
+        assert np.flatnonzero(idx._is_bridge).size == 1
+        ng, removed = apply_remove_edges(g, [(0, 4), (0, 1)])
+        assert removed.size == 2
+        assert shrink_index(idx, ng, removed) is None

@@ -1,0 +1,203 @@
+"""Tests for workload generation and the JSON-lines file format."""
+
+import json
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.service.workload import (
+    DEFAULT_MIX,
+    QUERY_OP_NAMES,
+    UPDATE_OP_NAMES,
+    Workload,
+    WorkloadSpec,
+    generate_workload,
+    instance_graph,
+    load_workload,
+    mix_with_update_fraction,
+    save_workload,
+)
+
+GRAPH_SPEC = {"family": "connected-gnm", "n": 100, "m": 300, "seed": 5}
+
+
+class TestMix:
+    def test_default_mix_is_90_10(self):
+        q = sum(w for k, w in DEFAULT_MIX.items() if k in QUERY_OP_NAMES)
+        u = sum(w for k, w in DEFAULT_MIX.items() if k in UPDATE_OP_NAMES)
+        assert q == pytest.approx(0.9) and u == pytest.approx(0.1)
+
+    def test_rescale(self):
+        mix = mix_with_update_fraction(0.25)
+        u = sum(w for k, w in mix.items() if k in UPDATE_OP_NAMES)
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert u == pytest.approx(0.25)
+        # relative weights within each class are preserved
+        assert mix["same_bcc"] / mix["num_components"] == pytest.approx(
+            DEFAULT_MIX["same_bcc"] / DEFAULT_MIX["num_components"]
+        )
+
+    def test_extremes(self):
+        assert all(
+            mix_with_update_fraction(0.0)[k] == 0.0 for k in UPDATE_OP_NAMES
+        )
+        assert all(
+            mix_with_update_fraction(1.0)[k] == 0.0 for k in QUERY_OP_NAMES
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="update_frac"):
+            mix_with_update_fraction(1.5)
+
+
+class TestSpecValidation:
+    def test_bad_vertex_dist(self):
+        with pytest.raises(ValueError, match="vertex_dist"):
+            WorkloadSpec(vertex_dist="zipf")
+
+    def test_unknown_op_in_mix(self):
+        with pytest.raises(ValueError, match="unknown ops"):
+            WorkloadSpec(mix={"same_bcc": 1.0, "pagerank": 1.0})
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            WorkloadSpec(mix={"same_bcc": -1.0})
+        with pytest.raises(ValueError, match="weights"):
+            WorkloadSpec(mix={"same_bcc": 0.0})
+
+    def test_negative_ops(self):
+        with pytest.raises(ValueError, match="num_ops"):
+            WorkloadSpec(num_ops=-1)
+
+    def test_round_trips_through_dict(self):
+        spec = WorkloadSpec(num_ops=5, seed=3, graph=dict(GRAPH_SPEC))
+        assert WorkloadSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = WorkloadSpec(num_ops=200, seed=11, graph=dict(GRAPH_SPEC))
+        a = generate_workload(spec)
+        b = generate_workload(spec)
+        assert a.ops == b.ops
+        c = generate_workload(WorkloadSpec(num_ops=200, seed=12, graph=dict(GRAPH_SPEC)))
+        assert a.ops != c.ops
+
+    def test_counts_and_shapes(self):
+        spec = WorkloadSpec(num_ops=300, seed=2, batch_size=3, graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        assert len(wl) == 300
+        assert wl.num_queries + wl.num_updates == 300
+        for op in wl.ops:
+            if op["op"] in ("same_bcc", "is_bridge", "component_of_edge"):
+                assert 0 <= op["u"] < 100 and 0 <= op["v"] < 100
+            elif op["op"] == "is_articulation":
+                assert 0 <= op["v"] < 100
+            elif op["op"] in UPDATE_OP_NAMES:
+                assert 1 <= len(op["edges"]) <= 3
+
+    def test_query_only_mix(self):
+        spec = WorkloadSpec(num_ops=100, mix=mix_with_update_fraction(0.0),
+                            graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        assert wl.num_updates == 0 and wl.num_queries == 100
+
+    def test_skewed_dist(self):
+        spec = WorkloadSpec(num_ops=400, vertex_dist="skewed", skew=4.0,
+                            mix={"is_articulation": 1.0}, graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        vs = [op["v"] for op in wl.ops]
+        assert all(0 <= v < 100 for v in vs)
+        # polynomial skew concentrates mass on low vertex ids
+        assert sum(1 for v in vs if v < 20) > len(vs) / 2
+
+    def test_edge_bias_hits_real_edges(self):
+        g = gen.cycle_graph(50)
+        spec = WorkloadSpec(num_ops=300, mix={"is_bridge": 1.0}, edge_bias=1.0)
+        wl = generate_workload(spec, graph=g)
+        real = {tuple(e) for e in g.edges().tolist()}
+        hits = sum(
+            1 for op in wl.ops
+            if (min(op["u"], op["v"]), max(op["u"], op["v"])) in real
+        )
+        assert hits == 300  # bias 1.0: every edge-shaped op samples a real edge
+
+    def test_explicit_graph_overrides_spec(self):
+        spec = WorkloadSpec(num_ops=10, mix={"is_articulation": 1.0})
+        wl = generate_workload(spec, graph=gen.path_graph(4))
+        assert all(op["v"] < 4 for op in wl.ops)
+
+    def test_needs_graph(self):
+        with pytest.raises(ValueError, match="no graph entry"):
+            generate_workload(WorkloadSpec(num_ops=5))
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 vertices"):
+            generate_workload(WorkloadSpec(num_ops=5), graph=gen.path_graph(1))
+
+
+class TestInstanceGraph:
+    def test_family(self):
+        g = instance_graph(WorkloadSpec(graph=dict(GRAPH_SPEC)))
+        assert g.n == 100 and g.m == 300
+
+    def test_path(self, tmp_path):
+        from repro.graph.io import write_edgelist
+
+        p = tmp_path / "g.edges"
+        write_edgelist(gen.cycle_graph(7), p)
+        g = instance_graph(WorkloadSpec(graph={"path": str(p)}))
+        assert g.n == 7 and g.m == 7
+
+
+class TestFileFormat:
+    def test_round_trip(self, tmp_path):
+        spec = WorkloadSpec(num_ops=120, seed=9, vertex_dist="skewed",
+                            graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        path = tmp_path / "w.jsonl"
+        save_workload(wl, path)
+        back = load_workload(path)
+        assert back.spec == wl.spec
+        assert back.ops == wl.ops
+
+    def test_header_is_first_line(self, tmp_path):
+        wl = generate_workload(WorkloadSpec(num_ops=3, graph=dict(GRAPH_SPEC)))
+        path = tmp_path / "w.jsonl"
+        save_workload(wl, path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["workload"] == 1
+        assert header["spec"]["num_ops"] == 3
+        assert len(lines) == 4
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"op": "same_bcc", "u": 0, "v": 1}\n')
+        with pytest.raises(ValueError, match="workload"):
+            load_workload(path)
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="bad workload header"):
+            load_workload(path)
+
+    def test_unknown_op_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        spec = WorkloadSpec(num_ops=0, graph=dict(GRAPH_SPEC))
+        path.write_text(
+            json.dumps({"workload": 1, "spec": spec.as_dict()}) + "\n"
+            + '{"op": "pagerank"}\n'
+        )
+        with pytest.raises(ValueError, match="line 2.*pagerank"):
+            load_workload(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        wl = generate_workload(WorkloadSpec(num_ops=2, graph=dict(GRAPH_SPEC)))
+        path = tmp_path / "w.jsonl"
+        save_workload(wl, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_workload(path).ops) == 2
+
+    def test_workload_len_and_counts(self):
+        wl = Workload(WorkloadSpec(num_ops=0), [{"op": "same_bcc", "u": 0, "v": 1},
+                                                {"op": "add_edges", "edges": [[0, 1]]}])
+        assert len(wl) == 2 and wl.num_queries == 1 and wl.num_updates == 1

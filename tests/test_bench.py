@@ -195,3 +195,43 @@ class TestAsciiBars:
         text = report.format_fig4_bars(rows)
         assert "tv-smp" in text and "#" in text
         assert "Root-tree" in text
+
+
+class TestServiceBench:
+    def test_run_service_bench(self):
+        rep = runner.run_service_bench(n=800, ops=300, seed=1, p=4)
+        assert rep.num_ops == 300
+        assert rep.graph_n == 800
+        assert rep.graph_m == 800 * 10  # m = n * round(log2 n)
+        assert rep.throughput_ops_s > 0
+        assert rep.query_p99_us > 0
+        assert rep.cache_hit_rate > 0
+        assert rep.p == 4 and rep.sim_time_s > 0
+        assert "Service-build" in rep.sim_regions
+
+    def test_respects_bench_n_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_N", "500")
+        rep = runner.run_service_bench(ops=50, seed=1, p=0)
+        assert rep.graph_n == 500
+        assert rep.p is None and rep.sim_time_s is None
+
+    def test_format_service(self):
+        rep = runner.run_service_bench(n=800, ops=300, seed=1, p=4)
+        text = report.format_service(rep)
+        assert "Service workload" in text
+        assert "same_bcc" in text
+        assert "hit rate" in text
+        assert "simulated E4500 (p=4)" in text
+
+    def test_cli_service_json(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        path = tmp_path / "svc.json"
+        monkey_n = "600"
+        assert main(["service", "--n", monkey_n, "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Service workload" in out
+        data = json.loads(path.read_text())
+        assert data["graph_n"] == 600
+        assert data["throughput_ops_s"] > 0
+        assert data["cache_hit_rate"] > 0

@@ -140,3 +140,167 @@ class TestConvertInfoAugment:
     def test_unknown_extension(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["info", str(tmp_path / "g.xyz")])
+
+
+class TestJsonOutput:
+    def test_bcc_json_schema(self, graph_file, capsys):
+        import json
+
+        path, g = graph_file
+        assert main(["bcc", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "bcc"
+        assert doc["n"] == g.n and doc["m"] == g.m
+        assert doc["algorithm"] == "tv-filter"
+        assert doc["num_components"] >= 1
+        assert isinstance(doc["num_articulation_points"], int)
+        assert isinstance(doc["num_bridges"], int)
+        assert doc["largest_block_edges"] >= 1
+        assert doc["simulated"] is None
+
+    def test_bcc_json_with_machine(self, graph_file, capsys):
+        import json
+
+        path, _ = graph_file
+        assert main(["bcc", path, "--json", "--p", "4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        sim = doc["simulated"]
+        assert sim["p"] == 4 and sim["time_s"] > 0
+        assert "Connected-components" in sim["regions"]
+
+    def test_info_json_schema(self, graph_file, capsys):
+        import json
+
+        path, g = graph_file
+        assert main(["info", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "info"
+        assert doc["n"] == g.n and doc["m"] == g.m
+        for key in ("connected", "blocks", "articulation_points", "bridges",
+                    "leaf_blocks", "largest_block_edges", "biconnected"):
+            assert key in doc, key
+        assert doc["connected"] is True
+
+    def test_info_index_facts(self, tmp_path, capsys):
+        # path graph: every edge is its own block/bridge, interior = cuts
+        g = gen.path_graph(6)
+        p = tmp_path / "p.edges"
+        write_edgelist(g, p)
+        assert main(["info", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "blocks          : 5" in out
+        assert "articulation pts: 4" in out
+        assert "bridges         : 5" in out
+        assert "leaf blocks     : 2" in out
+        assert "largest block   : 1 edges" in out
+        assert "biconnected     : False" in out
+
+    def test_info_biconnected_graph(self, tmp_path, capsys):
+        import json
+
+        p = tmp_path / "c.edges"
+        write_edgelist(gen.cycle_graph(8), p)
+        assert main(["info", str(p), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["biconnected"] is True
+        assert doc["blocks"] == 1 and doc["bridges"] == 0
+
+
+class TestWorkloadCLI:
+    def _gen(self, tmp_path, *extra):
+        out = tmp_path / "w.jsonl"
+        args = ["workload", "gen", str(out), "--ops", "200", "--seed", "7",
+                "--n", "150", "--m", "450", *extra]
+        assert main(args) == 0
+        return out
+
+    def test_gen_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        out = self._gen(tmp_path)
+        text = capsys.readouterr().out
+        assert "wrote 200 ops" in text
+        lines = out.read_text().splitlines()
+        assert len(lines) == 201
+        header = json.loads(lines[0])
+        assert header["workload"] == 1
+        assert header["spec"]["graph"]["n"] == 150
+
+    def test_gen_defaults_m_to_n_log_n(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "w.jsonl"
+        assert main(["workload", "gen", str(out), "--ops", "10", "--n", "64"]) == 0
+        capsys.readouterr()
+        header = json.loads(out.read_text().splitlines()[0])
+        assert header["spec"]["graph"]["m"] == 64 * 6
+
+    def test_gen_requires_graph_or_n(self, tmp_path):
+        with pytest.raises(SystemExit, match="--n .*or --graph"):
+            main(["workload", "gen", str(tmp_path / "w.jsonl")])
+
+    def test_gen_unknown_family(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown family"):
+            main(["workload", "gen", str(tmp_path / "w.jsonl"),
+                  "--n", "10", "--family", "hypercube"])
+
+    def test_gen_from_graph_file(self, tmp_path, graph_file, capsys):
+        path, g = graph_file
+        out = tmp_path / "w.jsonl"
+        assert main(["workload", "gen", str(out), "--ops", "50", "--graph", path]) == 0
+        assert "wrote 50 ops" in capsys.readouterr().out
+
+    def test_run_human_output(self, tmp_path, capsys):
+        out = self._gen(tmp_path)
+        capsys.readouterr()
+        assert main(["workload", "run", str(out), "--verify"]) == 0
+        text = capsys.readouterr().out
+        assert "ops/s" in text
+        assert "p99=" in text
+        assert "hit rate" in text
+        assert "verified against recompute-from-scratch: True (0 mismatches)" in text
+
+    def test_run_json_report(self, tmp_path, capsys):
+        import json
+
+        out = self._gen(tmp_path)
+        capsys.readouterr()
+        assert main(["workload", "run", str(out), "--json", "--verify",
+                     "--p", "4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_ops"] == 200
+        assert doc["throughput_ops_s"] > 0
+        assert doc["query_p99_us"] > 0
+        assert doc["cache_hit_rate"] > 0
+        assert doc["verified"] is True and doc["mismatches"] == 0
+        assert doc["p"] == 4 and doc["sim_time_s"] > 0
+
+    def test_run_skewed_and_options(self, tmp_path, capsys):
+        out = self._gen(tmp_path, "--dist", "skewed", "--skew", "2.5",
+                        "--update-frac", "0.3", "--edge-bias", "0.5")
+        capsys.readouterr()
+        assert main(["workload", "run", str(out), "--algorithm", "tv-opt",
+                     "--cache-size", "2"]) == 0
+        assert "algorithm=tv-opt" in capsys.readouterr().out
+
+    def test_run_graph_override(self, tmp_path, graph_file, capsys):
+        # workload over 50 vertices runs fine on a larger (n=60) graph
+        path, _ = graph_file
+        out = tmp_path / "w.jsonl"
+        assert main(["workload", "gen", str(out), "--ops", "100", "--seed", "7",
+                     "--n", "50", "--m", "150"]) == 0
+        capsys.readouterr()
+        assert main(["workload", "run", str(out), "--graph", path]) == 0
+        assert "n=60" in capsys.readouterr().out
+
+    def test_run_incompatible_override_exits(self, tmp_path, graph_file):
+        # workload over 150 vertices cannot run on the 60-vertex graph
+        path, _ = graph_file
+        out = self._gen(tmp_path)
+        with pytest.raises(SystemExit, match="workload run"):
+            main(["workload", "run", str(out), "--graph", path])
+
+    def test_run_rejects_non_workload_file(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit, match="workload run"):
+            main(["workload", "run", path])
