@@ -43,10 +43,14 @@ __all__ = [
 CUSTOM_BASE = "tv-opt"
 
 
-def _sequential_runner(g, machine=None, *, strategies=None, **kwargs):
+def _sequential_runner(g, machine=None, *, strategies=None, backend=None, p=None, **kwargs):
     rejected = sorted(kwargs)
     if strategies is not None:
         rejected.append("strategies")
+    if backend not in (None, "simulated"):
+        rejected.append("backend")
+    if p is not None:
+        rejected.append("p")
     if rejected:
         raise TypeError(
             f"algorithm 'sequential' accepts no algorithm options, got {rejected}"
@@ -55,13 +59,15 @@ def _sequential_runner(g, machine=None, *, strategies=None, **kwargs):
 
 
 def _pipeline_runner(spec_name: str, result_name: str | None = None):
-    def run(g, machine=None, *, strategies=None, **kwargs):
+    def run(g, machine=None, *, strategies=None, backend=None, p=None, **kwargs):
         return _pipeline.run_pipeline(
             g,
             spec_name,
             machine,
             strategies=strategies,
             algorithm_name=result_name,
+            backend=backend,
+            p=p,
             **kwargs,
         )
 
@@ -116,6 +122,8 @@ def biconnected_components(
     machine: Machine | None = None,
     *,
     strategies: Mapping[str, str] | None = None,
+    backend: str | None = None,
+    p: int | None = None,
     **kwargs,
 ) -> BCCResult:
     """Biconnected components of ``g``.
@@ -137,6 +145,15 @@ def biconnected_components(
     strategies:
         Per-stage strategy overrides, e.g. ``{"lowhigh": "rmq",
         "cc": "pruned"}`` — see :func:`repro.core.pipeline.list_strategies`.
+    backend:
+        Execution backend: ``"simulated"`` (default; vectorized + cost
+        model), ``"serial"``, ``"threads"`` or ``"processes"`` (real
+        worker team on shared memory; see :mod:`repro.runtime`).  All
+        backends produce bit-identical labels; real backends additionally
+        record measured per-region wall-clock times in ``result.report``.
+    p:
+        Worker count for real backends (defaults to ``machine.p`` when a
+        machine is given, else 1).
     kwargs:
         Strategy knobs (``lowhigh_method``, ``list_ranking``,
         ``fallback_ratio``, ...).  Unknown knobs raise ``TypeError``.
@@ -147,7 +164,7 @@ def biconnected_components(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         ) from None
-    return fn(g, machine, strategies=strategies, **kwargs)
+    return fn(g, machine, strategies=strategies, backend=backend, p=p, **kwargs)
 
 
 def articulation_points(

@@ -19,6 +19,9 @@ The abl-* experiments enumerate the stage/strategy registry
   dense         Woo–Sahni regime: 70%/90% of K_n
   service       query-service workload: throughput, latency percentiles,
                 cache behaviour (repro.service; see docs/service.md)
+  runtime       execution backends: kernel + end-to-end wall-clock across
+                serial/threads/processes at p in {1,2,4} (docs/runtime.md);
+                writes results/BENCH_runtime.json
   all           run everything
 
 Scale: --n overrides the vertex count (default 100,000;
@@ -155,6 +158,20 @@ def _service(args):
     rep = runner.run_service_bench(n=args.n, seed=args.seed)
     _emit(report.format_service(rep), args)
     return rep.as_dict()
+
+
+@experiment("runtime")
+def _runtime(args):
+    result = runner.run_runtime_bench(n=args.n, seed=args.seed)
+    _emit(report.format_runtime(result), args)
+    # the measured-backend trajectory file, next to BENCH_service.json
+    # (convention: BENCH_*.json are committed measurements; see README)
+    import os
+
+    if os.path.isdir("results"):
+        _save_json(result, "results/BENCH_runtime.json")
+        print("wrote results/BENCH_runtime.json")
+    return result
 
 
 @experiment("all")

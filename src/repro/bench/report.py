@@ -16,6 +16,7 @@ __all__ = [
     "format_filter_claims",
     "format_ablation",
     "format_service",
+    "format_runtime",
     "ascii_bars",
 ]
 
@@ -202,3 +203,54 @@ def format_fig4_bars(rows: list[Fig4Row]) -> str:
                 + ascii_bars([s for s, _ in steps], [v for _, v in steps])
             )
     return "\n\n".join(blocks)
+
+
+def format_runtime(result: dict) -> str:
+    """Runtime-backend benchmark: kernel and end-to-end wall-clock tables.
+
+    ``result`` is the dict from
+    :func:`repro.bench.runner.run_runtime_bench`.  Speedup columns are
+    relative to the same backend at p = 1; the host block states how many
+    cores those numbers were measured on.
+    """
+    host = result["host"]
+    scale = result["scale"]
+    base: dict[tuple[str, str], float] = {}
+    for row in result["kernels"]:
+        if row["p"] == 1:
+            base[(row["kernel"], row["backend"])] = row["wall_s"]
+    k_rows = [
+        [r["kernel"], r["backend"], r["p"], f"{r['n']:,}",
+         r["wall_s"], r["sim_s"],
+         base[(r["kernel"], r["backend"])] / r["wall_s"]
+         if base.get((r["kernel"], r["backend"])) else float("nan")]
+        for r in result["kernels"]
+    ]
+    e_base = {r["backend"]: r["wall_s"]
+              for r in result["end_to_end"] if r["p"] == 1}
+    e_rows = [
+        [r["algorithm"], r["backend"], r["p"], r["wall_s"], r["sim_s"],
+         e_base[r["backend"]] / r["wall_s"] if e_base.get(r["backend"])
+         else float("nan")]
+        for r in result["end_to_end"]
+    ]
+    lines = [
+        table(
+            ["kernel", "backend", "p", "n", "wall [s]", "sim [s]", "speedup"],
+            k_rows,
+            f"Runtime kernels — scan n={scale['kernel_n']:,}, "
+            f"graph n={scale['graph_n']:,} m={scale['graph_m']:,} "
+            f"(best of {scale['repeats']})",
+        ),
+        "",
+        table(
+            ["algorithm", "backend", "p", "wall [s]", "sim [s]", "speedup"],
+            e_rows,
+            "End-to-end tv-filter",
+        ),
+        "",
+        f"host: {host['cpu_count']} core(s), {host['platform']}, "
+        f"python {host['python']}, numpy {host['numpy']} — wall-clock "
+        f"speedups are bounded by the core count above",
+    ]
+    return "\n".join(lines)

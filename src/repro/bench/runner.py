@@ -42,6 +42,7 @@ __all__ = [
     "run_pathological",
     "run_dense",
     "run_service_bench",
+    "run_runtime_bench",
 ]
 
 #: Densities (m/n) in the Fig. 3 / Fig. 4 grid.  The paper sweeps several
@@ -497,3 +498,126 @@ def run_dense(p: int = 12, seed: int = 42, n: int = 1500) -> list[AblationRow]:
                          fraction=frac, seq_sim_time_s=ms.time_s)
             rows.append(row)
     return rows
+
+
+# --------------------------------------------------------------------- #
+# runtime backends (docs/runtime.md)
+
+
+def run_runtime_bench(
+    n: int | None = None,
+    kernel_n: int = 1_000_000,
+    seed: int = 42,
+    ps=(1, 2, 4),
+    backends=("serial", "threads", "processes"),
+    repeats: int = 3,
+):
+    """Measure the execution backends: kernel and end-to-end wall-clock.
+
+    Times each runtime kernel (prefix scan at ``kernel_n`` elements, SV
+    connectivity and BFS on the density-4 instance at scale ``n``) and
+    the full ``tv-filter`` pipeline on every real backend at each worker
+    count, next to the vectorized/simulated baseline.  Wall-clock is the
+    best of ``repeats`` runs; simulated seconds come from the cost model
+    and are backend-independent by construction.
+
+    The result — written to results/BENCH_runtime.json by
+    ``python -m repro.bench runtime`` — records the host's CPU count and
+    platform: wall-clock speedups are only meaningful relative to the
+    recorded core count (a 1-core container cannot show p >= 2 gains).
+    """
+    import platform as _platform
+    import sys as _sys
+
+    from .. import biconnected_components
+    from ..primitives.bfs import bfs_forest as vec_bfs
+    from ..primitives.connectivity import shiloach_vishkin as vec_sv
+    from ..primitives.prefix_sum import prefix_scan as vec_scan
+    from ..runtime import kernels, make_team
+
+    n = n or default_n()
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 1000, size=kernel_n).astype(np.int64)
+    g = gen.random_connected_gnm(n, 4 * n, seed=seed)
+    csr = g.csr()
+
+    def best_of(fn):
+        best = math.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def sim_s(fn, p):
+        mach = e4500(p)
+        fn(mach)
+        return float(mach.time_s)
+
+    kernel_rows = []
+
+    def add_kernel(kernel, backend, p, size, wall, sim):
+        kernel_rows.append({
+            "kernel": kernel, "backend": backend, "p": int(p),
+            "n": int(size), "wall_s": wall, "sim_s": sim,
+        })
+
+    # vectorized baselines (the "simulated" backend executes these)
+    add_kernel("prefix_scan", "simulated", 1, kernel_n,
+               best_of(lambda: vec_scan(x, "sum")),
+               sim_s(lambda m: vec_scan(x, "sum", m), 1))
+    add_kernel("shiloach_vishkin", "simulated", 1, n,
+               best_of(lambda: vec_sv(g.n, g.u, g.v, mode="engineered")),
+               sim_s(lambda m: vec_sv(g.n, g.u, g.v, m, mode="engineered"), 1))
+    add_kernel("bfs_forest", "simulated", 1, n,
+               best_of(lambda: vec_bfs(g, csr=csr)),
+               sim_s(lambda m: vec_bfs(g, machine=m, csr=csr), 1))
+
+    for backend in backends:
+        for p in ps:
+            with make_team(backend, p) as team:
+                add_kernel(
+                    "prefix_scan", backend, p, kernel_n,
+                    best_of(lambda: kernels.prefix_scan(x, "sum", team=team)),
+                    sim_s(lambda m: kernels.prefix_scan(x, "sum", team=team,
+                                                        machine=m), p))
+                add_kernel(
+                    "shiloach_vishkin", backend, p, n,
+                    best_of(lambda: kernels.shiloach_vishkin(
+                        g.n, g.u, g.v, team=team)),
+                    sim_s(lambda m: kernels.shiloach_vishkin(
+                        g.n, g.u, g.v, team=team, machine=m), p))
+                add_kernel(
+                    "bfs_forest", backend, p, n,
+                    best_of(lambda: kernels.bfs_forest(g, team=team, csr=csr)),
+                    sim_s(lambda m: kernels.bfs_forest(g, team=team, machine=m,
+                                                       csr=csr), p))
+
+    e2e_rows = []
+    for backend in ("simulated", *backends):
+        for p in ps:
+            wall = best_of(lambda: biconnected_components(
+                g, "tv-filter", backend=backend, p=p))
+            res = biconnected_components(g, "tv-filter", e4500(p),
+                                         backend=backend, p=p)
+            e2e_rows.append({
+                "algorithm": "tv-filter", "backend": backend, "p": int(p),
+                "n": int(g.n), "m": int(g.m),
+                "wall_s": wall,
+                "sim_s": float(res.report.time_s),
+                "wall_regions": {k: float(v)
+                                 for k, v in res.report.region_wall_s().items()},
+            })
+
+    return {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": _platform.platform(),
+            "python": _sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "scale": {"kernel_n": int(kernel_n), "graph_n": int(g.n),
+                  "graph_m": int(g.m), "repeats": int(repeats)},
+        "kernels": kernel_rows,
+        "end_to_end": e2e_rows,
+    }

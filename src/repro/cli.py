@@ -27,6 +27,7 @@ from .api import ALGORITHMS, biconnected_components, describe_algorithm
 from .core.blockcut import augment_to_biconnected
 from .graph import Graph, generators as gen
 from .graph.io import read_graph, write_graph
+from .runtime import BACKEND_NAMES
 from .smp import e4500
 
 __all__ = ["main"]
@@ -85,13 +86,24 @@ def cmd_bcc(args) -> int:
         raise SystemExit("bcc: a graph file is required (or use --explain)")
     g = _read(args.graph)
     machine = e4500(args.p) if args.p else None
+    workers = args.p if args.p else None
     try:
         res = biconnected_components(
-            g, algorithm=args.algorithm, machine=machine, strategies=strategies
+            g,
+            algorithm=args.algorithm,
+            machine=machine,
+            strategies=strategies,
+            backend=args.backend,
+            p=workers,
         )
     except (TypeError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
+    verified = None
+    if args.verify:
+        ref = biconnected_components(g, algorithm="sequential")
+        verified = res.same_partition(ref)
     sizes = res.component_sizes()
+    wall = res.report.region_wall_s() if res.report is not None else {}
     if args.json:
         doc = {
             "command": "bcc",
@@ -99,6 +111,7 @@ def cmd_bcc(args) -> int:
             "n": g.n,
             "m": g.m,
             "algorithm": res.algorithm,
+            "backend": res.backend,
             "num_components": res.num_components,
             "num_articulation_points": int(res.articulation_points().size),
             "num_bridges": int(res.bridges().size),
@@ -112,9 +125,16 @@ def cmd_bcc(args) -> int:
                 "regions": {k: float(v)
                             for k, v in res.report.region_times_s().items()},
             }
+        if wall:
+            doc["wall"] = {
+                "time_s": float(res.report.wall_time_s),
+                "regions": {k: float(v) for k, v in wall.items()},
+            }
+        if verified is not None:
+            doc["verified"] = verified
         print(json.dumps(doc, indent=2))
     else:
-        print(f"n={g.n} m={g.m} algorithm={res.algorithm}")
+        print(f"n={g.n} m={g.m} algorithm={res.algorithm} backend={res.backend}")
         print(f"biconnected components: {res.num_components}")
         if sizes.size:
             print(f"largest block: {int(sizes.max())} edges; "
@@ -124,6 +144,15 @@ def cmd_bcc(args) -> int:
             print(f"simulated E4500 time at p={args.p}: {machine.time_s:.4f}s")
             for step, sec in res.report.region_times_s().items():
                 print(f"  {step:22s} {sec:8.4f}s")
+        if wall:
+            print(f"measured wall-clock ({res.backend}): "
+                  f"{res.report.wall_time_s:.4f}s")
+            for step, sec in wall.items():
+                print(f"  {step:22s} {sec:8.4f}s")
+        if verified is not None:
+            print(f"verified against sequential Tarjan: {verified}")
+    if verified is False:
+        raise SystemExit("bcc: labels disagree with sequential Tarjan")
     if args.labels_out:
         np.savetxt(args.labels_out, res.edge_labels, fmt="%d")
         if not args.json:
@@ -162,7 +191,15 @@ def cmd_info(args) -> int:
 
     g = _read(args.graph)
     deg = g.degrees()
-    idx = BCCIndex.build(g, algorithm=args.algorithm)
+    try:
+        idx = BCCIndex.build(
+            g,
+            algorithm=args.algorithm,
+            backend=args.backend,
+            p=args.p if args.p else None,
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
     connected = is_connected(g)
     biconnected = bool(
         g.n >= 3
@@ -185,9 +222,18 @@ def cmd_info(args) -> int:
         "leaf_blocks": int(idx.block_cut().leaf_blocks().size),
         "largest_block_edges": idx.largest_block_edges(),
         "biconnected": biconnected,
+        "backend": idx.result.backend,
     }
+    report = idx.result.report
+    wall = report.region_wall_s() if report is not None else {}
     if args.json:
-        print(json.dumps({"command": "info", **facts}, indent=2))
+        doc = {"command": "info", **facts}
+        if wall:
+            doc["wall"] = {
+                "time_s": float(report.wall_time_s),
+                "regions": {k: float(v) for k, v in wall.items()},
+            }
+        print(json.dumps(doc, indent=2))
         return 0
     print(f"file            : {facts['file']}")
     print(f"vertices        : {facts['n']}")
@@ -202,6 +248,10 @@ def cmd_info(args) -> int:
     print(f"leaf blocks     : {facts['leaf_blocks']}")
     print(f"largest block   : {facts['largest_block_edges']} edges")
     print(f"biconnected     : {facts['biconnected']}")
+    if facts["backend"] != "simulated":
+        print(f"backend         : {facts['backend']}")
+        for step, sec in wall.items():
+            print(f"  {step:22s} {sec:8.4f}s")
     return 0
 
 
@@ -319,8 +369,15 @@ def main(argv=None) -> int:
                         "e.g. --strategy lowhigh=rmq --strategy cc=pruned")
     p.add_argument("--explain", action="store_true",
                    help="print the resolved stage/strategy pipeline and exit")
-    p.add_argument("--p", type=int, default=0,
-                   help="simulate this many E4500 processors (0: off)")
+    p.add_argument("--p", "-p", type=int, default=0,
+                   help="processor count: simulated E4500 processors and, for "
+                        "real backends, the worker count (0: off/backend default)")
+    p.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                   help="execution backend (default simulated); real backends "
+                        "additionally report measured per-region wall-clock")
+    p.add_argument("--verify", action="store_true",
+                   help="check the labels against sequential Tarjan and fail "
+                        "on mismatch")
     p.add_argument("--labels-out", default=None,
                    help="write per-edge block labels to this file")
     p.add_argument("--json", action="store_true",
@@ -343,6 +400,11 @@ def main(argv=None) -> int:
     p = sub.add_parser("info", help="structural summary")
     p.add_argument("graph")
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="tv-filter")
+    p.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                   help="execution backend for the index build "
+                        "(default simulated)")
+    p.add_argument("--p", "-p", type=int, default=0,
+                   help="worker count for real backends (0: backend default)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON document")
     p.set_defaults(fn=cmd_info)

@@ -39,9 +39,15 @@ class BCCResult:
         Name of the algorithm that produced the result.
     report:
         The simulated-machine accounting (None when run uninstrumented).
+        When the run executed on a real backend, ``report.wall_regions``
+        additionally holds the measured per-region wall-clock seconds.
+    backend:
+        Name of the execution backend that produced the result
+        (``"simulated"``, ``"serial"``, ``"threads"`` or ``"processes"``).
+        Every backend yields bit-identical ``edge_labels``.
     """
 
-    __slots__ = ("graph", "edge_labels", "algorithm", "report", "_cut_cache")
+    __slots__ = ("graph", "edge_labels", "algorithm", "report", "backend", "_cut_cache")
 
     def __init__(
         self,
@@ -49,6 +55,7 @@ class BCCResult:
         edge_labels: np.ndarray,
         algorithm: str,
         report: MachineReport | None = None,
+        backend: str = "simulated",
     ):
         if np.asarray(edge_labels).shape != (graph.m,):
             raise ValueError("edge_labels must have one entry per edge")
@@ -56,6 +63,7 @@ class BCCResult:
         self.edge_labels = canonical_edge_labels(edge_labels)
         self.algorithm = algorithm
         self.report = report
+        self.backend = backend
         self._cut_cache = None
 
     @property

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import CSRGraph, Graph
+from ..runtime.context import current_team
 from ..smp import Machine, NullMachine, Ops
 
 __all__ = ["BFSResult", "bfs", "bfs_forest"]
@@ -81,6 +82,8 @@ def bfs_forest(
     machine: Machine | None = None,
     csr: CSRGraph | None = None,
     cover_all: bool = False,
+    *,
+    team=None,
 ) -> BFSResult:
     """Level-synchronous BFS from ``roots`` (all components if None).
 
@@ -88,7 +91,21 @@ def bfs_forest(
     whole graph: after the given roots exhaust, the smallest unreached
     vertex seeds the next tree, and so on (sequential restarts, parallel
     levels).
+
+    When an execution backend is active (``team`` passed explicitly, or
+    published via :func:`repro.runtime.active_team`) and the graph clears
+    the team's dispatch grain, frontier expansion runs on the backend's
+    worker team (:func:`repro.runtime.kernels.bfs_forest`) — identical
+    machine charges, bit-identical parents/levels/parent edges.
     """
+    if team is None:
+        team = current_team()
+    if team is not None and g.n + 2 * g.m >= team.grain:
+        from ..runtime import kernels
+
+        return kernels.bfs_forest(
+            g, roots, team=team, machine=machine, csr=csr, cover_all=cover_all
+        )
     machine = machine or NullMachine()
     n = g.n
     parent = np.full(n, -1, dtype=np.int64)

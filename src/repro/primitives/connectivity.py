@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph
+from ..runtime.context import current_team
 from ..smp import Machine, NullMachine, Ops
 
 __all__ = [
@@ -73,6 +74,7 @@ def shiloach_vishkin(
     machine: Machine | None = None,
     *,
     mode: str = "engineered",
+    team=None,
 ) -> ConnectivityResult:
     """SV connectivity over an edge list on vertices ``0..n-1``.
 
@@ -94,9 +96,24 @@ def shiloach_vishkin(
     Both modes produce identical components and a valid spanning forest of
     graft-winning edges; they differ in the work/rounds profile charged to
     the machine.
+
+    When an execution backend is active (``team`` passed explicitly, or
+    published via :func:`repro.runtime.active_team`), the engineered mode
+    dispatches to the backend's worker team
+    (:func:`repro.runtime.kernels.shiloach_vishkin`) — identical machine
+    charges and bit-identical output including the graft-winning forest.
+    The textbook mode always runs vectorized (it exists to emulate the
+    PRAM schedule the cost model prices, not to be fast).
     """
     if mode not in ("engineered", "textbook"):
         raise ValueError(f"unknown SV mode {mode!r}")
+    if mode == "engineered":
+        if team is None:
+            team = current_team()
+        if team is not None and 2 * np.asarray(u).size >= team.grain:
+            from ..runtime import kernels
+
+            return kernels.shiloach_vishkin(n, u, v, team=team, machine=machine)
     machine = machine or NullMachine()
     u = np.asarray(u, dtype=np.int64)
     v = np.asarray(v, dtype=np.int64)

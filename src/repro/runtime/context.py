@@ -1,0 +1,48 @@
+"""Ambient execution-backend context.
+
+The pipeline threads its :class:`~repro.runtime.team.Team` explicitly
+through the stage bodies (``ctx.team``), but the paper's algorithms call
+parallel primitives *transitively* — ``numbering_from_parents`` scans,
+``low_high`` sweeps, the auxiliary-graph build compacts — and rewriting
+every intermediate signature to carry a team would couple the whole
+primitive layer to the runtime.  Instead the active team is published in a
+:mod:`contextvars` variable: :func:`repro.core.pipeline.run_pipeline`
+activates the team around the stage loop, and each dispatching primitive
+(prefix scans, Shiloach–Vishkin, BFS) consults :func:`current_team` when
+no explicit ``team=`` was passed.
+
+This module is import-light on purpose (no numpy, no primitives) so the
+primitive layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .team import Team
+
+__all__ = ["current_team", "active_team"]
+
+_ACTIVE: ContextVar["Team | None"] = ContextVar("repro_runtime_team", default=None)
+
+
+def current_team() -> "Team | None":
+    """The team activated by the innermost :func:`active_team`, or None."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def active_team(team: "Team | None") -> Iterator["Team | None"]:
+    """Publish ``team`` as the ambient execution backend for the block.
+
+    ``active_team(None)`` is a no-op scope (used by the simulated backend
+    so callers need not branch).
+    """
+    token = _ACTIVE.set(team)
+    try:
+        yield team
+    finally:
+        _ACTIVE.reset(token)

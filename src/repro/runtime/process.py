@@ -1,0 +1,294 @@
+"""Process-backed team on ``multiprocessing.shared_memory``.
+
+This is the backend that actually escapes the GIL: a persistent team of
+worker *processes*, one per simulated E4500 processor, operating on numpy
+arrays placed in POSIX shared memory — workers read and write the same
+physical pages as the parent, so a ``parallel_for`` ships only a tiny
+pickled message (function reference + scalars + segment names), never
+array data.
+
+Wire protocol (one duplex :func:`multiprocessing.Pipe` per worker)::
+
+    ("run", fn, n, args)   -> ("ok", None) | ("err", exc)
+    ("release", [names])   -> ("ok", None)     # drop cached attachments
+    ("close",)             -> worker exits
+
+``fn`` must be a module-level function (picklable by reference); array
+arguments are passed as :class:`_ShmRef` name markers that each worker
+resolves — and caches — by attaching to the named segment.  Arrays *not*
+allocated through the team are pickled by value: fine for small read-only
+broadcast data (e.g. a p-element offsets vector), but writes to them do
+not propagate, so kernels allocate every output through
+``team.empty/zeros/full/share``.
+
+Two CPython sharp edges are handled here:
+
+* On Python ≤ 3.12 merely *attaching* to a segment registers it with the
+  resource tracker, which misfires in a worker either way: a shared
+  tracker double-tracks the parent's segment, a worker-private tracker
+  accumulates entries no unlink will ever match.  Ownership here is
+  strictly parent-side (create + unlink in the parent, close-only in the
+  workers), so workers disable shared-memory tracking entirely
+  (:func:`_disable_worker_shm_tracking`).
+* A worker dying mid-job (OOM-kill, segfault) would deadlock a blocking
+  ``recv``; the parent polls with a liveness check instead.
+
+Start method defaults to ``fork`` where available (no re-import cost per
+worker) and can be overridden with ``REPRO_RUNTIME_START``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from .team import Team, _default_grain, block_range, raise_aggregate
+
+__all__ = ["ProcessTeam"]
+
+
+class _ShmRef:
+    """Pickle-cheap stand-in for a shared numpy array (name + layout)."""
+
+    __slots__ = ("name", "shape", "dtype_str")
+
+    def __init__(self, name: str, shape: tuple, dtype_str: str):
+        self.name = name
+        self.shape = shape
+        self.dtype_str = dtype_str
+
+
+def _attach(ref: _ShmRef, cache: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]]):
+    ent = cache.get(ref.name)
+    if ent is None:
+        seg = shared_memory.SharedMemory(name=ref.name)
+        arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype_str), buffer=seg.buf)
+        ent = (seg, arr)
+        cache[ref.name] = ent
+    return ent[1]
+
+
+def _disable_worker_shm_tracking() -> None:
+    """Stop this worker's resource tracker from adopting attachments.
+
+    On Python <= 3.12 merely attaching to a segment calls
+    ``resource_tracker.register``.  Depending on whether a tracker was
+    already running when the worker forked, that either double-tracks the
+    parent's segment or spawns a worker-private tracker whose entries are
+    never matched by an unlink — both produce spurious warnings at exit.
+    Workers never own segments (the parent alone creates and unlinks), so
+    shared-memory tracking is simply disabled in the worker process.
+    """
+    orig = resource_tracker.register
+
+    def register(name, rtype):
+        if rtype != "shared_memory":
+            orig(name, rtype)
+
+    resource_tracker.register = register
+
+
+def _worker_main(rank: int, p: int, conn) -> None:
+    _disable_worker_shm_tracking()
+    cache: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            kind = msg[0]
+            if kind == "close":
+                conn.send(("ok", None))
+                break
+            if kind == "release":
+                for name in msg[1]:
+                    ent = cache.pop(name, None)
+                    if ent is not None:
+                        ent[0].close()
+                conn.send(("ok", None))
+                continue
+            _, fn, n, args = msg
+            try:
+                resolved = tuple(
+                    _attach(a, cache) if isinstance(a, _ShmRef) else a for a in args
+                )
+                lo, hi = block_range(rank, n, p)
+                if lo < hi:
+                    fn(rank, lo, hi, *resolved)
+                conn.send(("ok", None))
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                try:
+                    conn.send(("err", exc))
+                except Exception:
+                    conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+    finally:
+        for seg, _ in cache.values():
+            seg.close()
+        conn.close()
+
+
+class ProcessTeam(Team):
+    """A persistent fork–join team of worker processes (see module doc)."""
+
+    name = "processes"
+
+    def __init__(self, p: int, *, grain: int | None = None, start_method: str | None = None):
+        if p < 1:
+            raise ValueError("need at least one worker")
+        self.p = p
+        self.grain = _default_grain(32768) if grain is None else grain
+        method = start_method or os.environ.get("REPRO_RUNTIME_START")
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+        ctx = mp.get_context(method)
+        # name -> (shm, array); plus id(array) -> name for wire translation
+        self._segments: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+        self._by_id: Dict[int, str] = {}
+        self._shutdown = False
+        self._conns = []
+        self._procs = []
+        for rank in range(p):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main, args=(rank, p, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # -- shared-array management ---------------------------------------- #
+
+    def _alloc(self, shape, dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in (shape if isinstance(shape, (tuple, list)) else (shape,)))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        seg = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+        self._segments[seg.name] = (seg, arr)
+        self._by_id[id(arr)] = seg.name
+        return arr
+
+    def share(self, arr: np.ndarray) -> np.ndarray:
+        arr = np.asarray(arr)
+        if id(arr) in self._by_id:
+            return arr
+        out = self._alloc(arr.shape, arr.dtype)
+        out[...] = arr
+        return out
+
+    def empty(self, shape, dtype) -> np.ndarray:
+        return self._alloc(shape, dtype)
+
+    def zeros(self, shape, dtype) -> np.ndarray:
+        out = self._alloc(shape, dtype)
+        out[...] = 0
+        return out
+
+    def full(self, shape, fill, dtype) -> np.ndarray:
+        out = self._alloc(shape, dtype)
+        out[...] = fill
+        return out
+
+    def release(self, *arrays: np.ndarray) -> None:
+        names = []
+        for arr in arrays:
+            name = self._by_id.pop(id(arr), None)
+            if name is not None:
+                names.append(name)
+        if not names:
+            return
+        if not self._shutdown:
+            self._broadcast(("release", names))
+            self._collect()
+        for name in names:
+            seg, _ = self._segments.pop(name)
+            seg.close()
+            seg.unlink()
+
+    # -- execution ------------------------------------------------------ #
+
+    def _wire(self, arg):
+        if isinstance(arg, np.ndarray):
+            name = self._by_id.get(id(arg))
+            if name is not None:
+                return _ShmRef(name, arg.shape, arg.dtype.str)
+        return arg
+
+    def _broadcast(self, msg) -> None:
+        for conn in self._conns:
+            conn.send(msg)
+
+    def _recv(self, rank: int):
+        conn, proc = self._conns[rank], self._procs[rank]
+        while True:
+            if conn.poll(0.1):
+                return conn.recv()
+            if not proc.is_alive():
+                raise RuntimeError(
+                    f"process-team worker {rank} (pid {proc.pid}) died "
+                    f"unexpectedly with exit code {proc.exitcode}"
+                )
+
+    def _collect(self) -> None:
+        errors = []
+        for rank in range(self.p):
+            status, payload = self._recv(rank)
+            if status == "err":
+                errors.append(payload)
+        raise_aggregate(errors)
+
+    def parallel_for(self, n: int, body: Callable, *args) -> None:
+        """Run ``body(rank, lo, hi, *args)`` on every worker over range(n).
+
+        ``body`` must be module-level (pickled by reference); shared
+        arrays in ``args`` travel as name markers, everything else by
+        value.
+        """
+        if self._shutdown:
+            raise RuntimeError("team already shut down")
+        wire_args = tuple(self._wire(a) for a in args)
+        self._broadcast(("run", body, n, wire_args))
+        self._collect()
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                if conn.poll(1.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1)
+        for seg, _ in self._segments.values():
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._segments.clear()
+        self._by_id.clear()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -19,6 +19,7 @@ library code can be written unconditionally instrumented.
 from __future__ import annotations
 
 import math
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -35,13 +36,26 @@ class MachineReport:
     region entered on the machine (nested regions accumulate into their
     outermost enclosing region as well as their own entry, keyed by their
     dotted path).
+
+    ``wall_regions`` maps the same dotted region paths to *measured*
+    wall-clock seconds (each region's own full span, so nested regions are
+    naturally included in their parent).  It is empty when the machine
+    only priced a simulated execution.
     """
 
-    def __init__(self, p: int, costs: CostTable, totals: Counters, regions: dict[str, Counters]):
+    def __init__(
+        self,
+        p: int,
+        costs: CostTable,
+        totals: Counters,
+        regions: dict[str, Counters],
+        wall_regions: dict[str, float] | None = None,
+    ):
         self.p = p
         self.costs = costs
         self.totals = totals
         self.regions = regions
+        self.wall_regions = wall_regions or {}
 
     @property
     def time_s(self) -> float:
@@ -55,13 +69,29 @@ class MachineReport:
         """Simulated seconds per top-level region, in first-entry order."""
         return {name: c.time_s for name, c in self.regions.items() if "." not in name}
 
+    def region_wall_s(self) -> dict[str, float]:
+        """Measured wall-clock seconds per top-level region (empty when the
+        machine only simulated)."""
+        return {name: s for name, s in self.wall_regions.items() if "." not in name}
+
+    @property
+    def wall_time_s(self) -> float:
+        """Total measured wall-clock seconds across top-level regions."""
+        return sum(self.region_wall_s().values())
+
     def as_dict(self) -> dict:
-        return {
+        out = {
             "p": self.p,
             "cost_table": self.costs.name,
             "totals": self.totals.as_dict(),
             "regions": {k: v.as_dict() for k, v in self.regions.items()},
         }
+        if self.wall_regions:
+            out["wall"] = {
+                "time_s": self.wall_time_s,
+                "regions": dict(self.wall_regions),
+            }
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MachineReport(p={self.p}, time={self.time_s:.6f}s, regions={list(self.regions)})"
@@ -70,7 +100,7 @@ class MachineReport:
 class Machine:
     """Simulated ``p``-processor SMP with an explicit cost model."""
 
-    __slots__ = ("p", "costs", "totals", "_regions", "_stack")
+    __slots__ = ("p", "costs", "totals", "_regions", "_stack", "_wall")
 
     def __init__(self, p: int = 1, costs: CostTable = SUN_E4500):
         if p < 1:
@@ -80,6 +110,7 @@ class Machine:
         self.totals = Counters()
         self._regions: dict[str, Counters] = {}
         self._stack: list[str] = []
+        self._wall: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # charging primitives
@@ -161,14 +192,23 @@ class Machine:
         Regions nest; a nested region is recorded both under its own dotted
         path (``outer.inner``) and as part of the enclosing region's totals.
         Re-entering a region name accumulates into the same counters.
+
+        Alongside the simulated charges, each region's *wall-clock* span is
+        measured and accumulated under the same dotted path (a parent's
+        span naturally covers its children), so one instrumented run
+        yields both the simulated and the measured per-step breakdown.
         """
         path = f"{self._stack[-1]}.{name}" if self._stack else name
         if path not in self._regions:
             self._regions[path] = Counters()
         self._stack.append(path)
+        t0 = time.perf_counter_ns()
         try:
             yield
         finally:
+            self._wall[path] = (
+                self._wall.get(path, 0.0) + (time.perf_counter_ns() - t0) * 1e-9
+            )
             popped = self._stack.pop()
             assert popped == path
 
@@ -186,6 +226,7 @@ class Machine:
             costs=self.costs,
             totals=self.totals.snapshot(),
             regions={k: v.snapshot() for k, v in self._regions.items()},
+            wall_regions=dict(self._wall),
         )
 
     def reset(self) -> None:
@@ -193,6 +234,7 @@ class Machine:
         self.totals = Counters()
         self._regions = {}
         self._stack = []
+        self._wall = {}
 
     def fork(self) -> "Machine":
         """A fresh machine with the same configuration and empty counters."""

@@ -1,0 +1,187 @@
+"""Team protocol tests: block splits, serial/process backends, registry."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    BACKEND_NAMES,
+    ProcessTeam,
+    SerialTeam,
+    active_team,
+    block_range,
+    current_team,
+    make_team,
+)
+from repro.runtime.team import raise_aggregate
+
+
+class TestBlockRange:
+    @pytest.mark.parametrize("n", [0, 1, 7, 100, 103])
+    @pytest.mark.parametrize("p", [1, 2, 3, 8])
+    def test_partition_exact_and_balanced(self, n, p):
+        blocks = [block_range(r, n, p) for r in range(p)]
+        # contiguous, ordered, covering [0, n) exactly once
+        assert blocks[0][0] == 0 and blocks[-1][1] == n
+        for (lo0, hi0), (lo1, hi1) in zip(blocks, blocks[1:]):
+            assert hi0 == lo1
+        sizes = [hi - lo for lo, hi in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_matches_cost_model_split(self):
+        # first n % p ranks get the extra element
+        assert [block_range(r, 10, 4) for r in range(4)] == [
+            (0, 3), (3, 6), (6, 8), (8, 10),
+        ]
+
+
+class TestRaiseAggregate:
+    def test_no_errors_is_noop(self):
+        raise_aggregate([])
+
+    def test_single_error_reraised_as_is(self):
+        err = ValueError("x")
+        with pytest.raises(ValueError) as excinfo:
+            raise_aggregate([err])
+        assert excinfo.value is err
+
+    def test_many_errors_become_exception_group(self):
+        with pytest.raises(ExceptionGroup) as excinfo:
+            raise_aggregate([ValueError("a"), KeyError("b")])
+        assert len(excinfo.value.exceptions) == 2
+
+
+class TestSerialTeam:
+    def test_rank_order_execution(self):
+        with SerialTeam(4) as team:
+            order = []
+
+            def body(rank, lo, hi):
+                order.append(rank)
+
+            team.parallel_for(8, body)
+            assert order == [0, 1, 2, 3]
+
+    def test_grain_zero_by_default(self):
+        with SerialTeam(2) as team:
+            assert team.grain == 0
+
+    def test_aggregates_all_errors(self):
+        with SerialTeam(3) as team:
+
+            def bad(rank, lo, hi):
+                raise ValueError(f"r{rank}")
+
+            with pytest.raises(ExceptionGroup) as excinfo:
+                team.parallel_for(3, bad)
+            assert len(excinfo.value.exceptions) == 3
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            SerialTeam(0)
+
+
+# module-level bodies: the process backend pickles them by reference
+def _fill_rank(rank, lo, hi, out):
+    out[lo:hi] = rank
+
+
+def _scale(rank, lo, hi, src, dst, k):
+    dst[lo:hi] = src[lo:hi] * k
+
+
+def _raise_per_rank(rank, lo, hi):
+    raise ValueError(f"worker {rank} failed")
+
+
+def _raise_rank0(rank, lo, hi):
+    if rank == 0:
+        raise KeyError("only rank 0")
+
+
+class TestProcessTeam:
+    def test_shared_writes_visible_to_parent(self):
+        with ProcessTeam(3) as team:
+            out = team.empty(10, np.int64)
+            team.parallel_for(10, _fill_rank, out)
+            expected = np.concatenate([np.full(4, 0), np.full(3, 1), np.full(3, 2)])
+            np.testing.assert_array_equal(out, expected)
+
+    def test_share_copies_into_shared_memory(self):
+        with ProcessTeam(2) as team:
+            src = team.share(np.arange(9, dtype=np.int64))
+            dst = team.zeros(9, np.int64)
+            team.parallel_for(9, _scale, src, dst, 7)
+            np.testing.assert_array_equal(dst, np.arange(9) * 7)
+
+    def test_share_is_idempotent_on_team_arrays(self):
+        with ProcessTeam(2) as team:
+            a = team.zeros(4, np.int64)
+            assert team.share(a) is a
+
+    def test_release_then_reuse(self):
+        with ProcessTeam(2) as team:
+            a = team.empty(6, np.int64)
+            team.parallel_for(6, _fill_rank, a)
+            team.release(a)
+            b = team.empty(6, np.int64)
+            team.parallel_for(6, _fill_rank, b)
+            np.testing.assert_array_equal(b, [0, 0, 0, 1, 1, 1])
+
+    def test_worker_exceptions_aggregate(self):
+        with ProcessTeam(2) as team:
+            with pytest.raises(ExceptionGroup) as excinfo:
+                team.parallel_for(4, _raise_per_rank)
+            msgs = sorted(str(e) for e in excinfo.value.exceptions)
+            assert msgs == ["worker 0 failed", "worker 1 failed"]
+
+    def test_single_worker_exception_and_reuse(self):
+        with ProcessTeam(2) as team:
+            with pytest.raises(KeyError):
+                team.parallel_for(4, _raise_rank0)
+            out = team.zeros(4, np.int64)
+            team.parallel_for(4, _fill_rank, out)
+            np.testing.assert_array_equal(out, [0, 0, 1, 1])
+
+    def test_close_idempotent_and_rejects_use(self):
+        team = ProcessTeam(2)
+        team.close()
+        team.close()
+        with pytest.raises(RuntimeError):
+            team.parallel_for(4, _fill_rank, np.zeros(4, np.int64))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessTeam(0)
+
+
+class TestRegistry:
+    def test_backend_names_cover_cli_choices(self):
+        assert BACKEND_NAMES == ("simulated", "serial", "threads", "processes")
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_make_team_round_trip(self, backend):
+        with make_team(backend, 2) as team:
+            assert team.name == backend
+            assert team.p == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_team("gpu", 2)
+
+    def test_simulated_is_not_a_team(self):
+        # "simulated" means no team; the pipeline resolves it itself
+        with pytest.raises(ValueError):
+            make_team("simulated", 2)
+
+
+class TestActiveTeam:
+    def test_context_publishes_and_restores(self):
+        assert current_team() is None
+        with SerialTeam(2) as team:
+            with active_team(team):
+                assert current_team() is team
+            assert current_team() is None
+
+    def test_none_scope_is_noop(self):
+        with active_team(None):
+            assert current_team() is None

@@ -1,0 +1,133 @@
+"""Tests for the real-thread (pthreads-analogue) team backend."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ThreadTeam
+
+
+class TestThreadTeam:
+    def test_parallel_for_covers_range_exactly_once(self):
+        with ThreadTeam(4) as team:
+            hits = np.zeros(103, dtype=np.int64)
+
+            def body(rank, lo, hi):
+                hits[lo:hi] += 1
+
+            team.parallel_for(103, body)
+            assert (hits == 1).all()
+
+    def test_blocks_are_contiguous_and_balanced(self):
+        with ThreadTeam(4) as team:
+            blocks = [team.block(r, 10) for r in range(4)]
+            assert blocks == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_rank_visible_to_body(self):
+        with ThreadTeam(3) as team:
+            seen = np.full(3, -1, dtype=np.int64)
+
+            def body(rank, lo, hi):
+                seen[rank] = rank
+
+            team.parallel_for(30, body)
+            assert seen.tolist() == [0, 1, 2]
+
+    def test_extra_args_passed_through(self):
+        with ThreadTeam(2) as team:
+            out = np.zeros(10, dtype=np.int64)
+            x = np.arange(10, dtype=np.int64)
+
+            def body(rank, lo, hi, src, dst, scale):
+                dst[lo:hi] = src[lo:hi] * scale
+
+            team.parallel_for(10, body, x, out, 3)
+            np.testing.assert_array_equal(out, x * 3)
+
+    def test_reusable_across_many_calls(self):
+        with ThreadTeam(2) as team:
+            acc = np.zeros(10, dtype=np.int64)
+
+            def body(rank, lo, hi):
+                acc[lo:hi] += 1
+
+            for _ in range(25):
+                team.parallel_for(10, body)
+            assert (acc == 25).all()
+
+    def test_single_exception_propagates_as_itself(self):
+        with ThreadTeam(2) as team:
+
+            def bad(rank, lo, hi):
+                if rank == 0:
+                    raise ValueError("boom")
+
+            with pytest.raises(ValueError, match="boom"):
+                team.parallel_for(4, bad)
+
+    def test_multiple_exceptions_are_aggregated(self):
+        with ThreadTeam(3) as team:
+
+            def bad(rank, lo, hi):
+                raise ValueError(f"worker {rank} failed")
+
+            with pytest.raises(ExceptionGroup) as excinfo:
+                team.parallel_for(3, bad)
+            msgs = sorted(str(e) for e in excinfo.value.exceptions)
+            assert msgs == ["worker 0 failed", "worker 1 failed", "worker 2 failed"]
+
+    def test_team_reusable_after_raising_body(self):
+        # regression: a raising body must not wedge the barriers or leave
+        # stale errors behind — the team stays fully functional.
+        with ThreadTeam(4) as team:
+
+            def bad(rank, lo, hi):
+                raise RuntimeError(f"rank {rank}")
+
+            for _ in range(3):
+                with pytest.raises((RuntimeError, ExceptionGroup)):
+                    team.parallel_for(8, bad)
+                ok = np.zeros(8, dtype=np.int64)
+
+                def good(rank, lo, hi):
+                    ok[lo:hi] = 1
+
+                team.parallel_for(8, good)
+                assert (ok == 1).all()
+
+    def test_empty_range(self):
+        with ThreadTeam(3) as team:
+            called = []
+
+            def body(rank, lo, hi):  # pragma: no cover - must not run
+                called.append(rank)
+
+            team.parallel_for(0, body)
+            assert called == []
+
+    def test_more_workers_than_items(self):
+        with ThreadTeam(8) as team:
+            hits = np.zeros(3, dtype=np.int64)
+
+            def body(rank, lo, hi):
+                hits[lo:hi] += 1
+
+            team.parallel_for(3, body)
+            assert (hits == 1).all()
+
+    def test_close_idempotent_and_rejects_use(self):
+        team = ThreadTeam(2)
+        team.close()
+        team.close()
+        with pytest.raises(RuntimeError):
+            team.parallel_for(4, lambda r, a, b: None)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(0)
+
+    def test_share_and_release_are_inprocess_noops(self):
+        with ThreadTeam(2) as team:
+            x = np.arange(6, dtype=np.int64)
+            shared = team.share(x)
+            np.testing.assert_array_equal(shared, x)
+            team.release(shared)  # must not raise
