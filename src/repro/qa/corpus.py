@@ -1,0 +1,303 @@
+"""Adversarial graph corpus: named generators, random instances, mutation.
+
+The fixture graphs historically copy-pasted across the test suites live
+here as :func:`named_corpus`, extended with the shapes where parallel
+biconnectivity algorithms are known to diverge (Dong et al. document
+several TV-style pitfalls): stars (every edge its own block), long paths
+(worst-case tree depth), cliques glued at articulation points, bridge
+chains, edge lists littered with duplicates and self-loops that must
+normalize away, and disconnected unions.
+
+On top of the fixed corpus, :func:`random_graph` draws a seeded random
+instance from a family mix and :func:`mutate` applies seeded structural
+edits (add/remove edge, pendant vertex, edge subdivision, vertex
+relabeling, disjoint union) — the fuzzer's instance stream is corpus
+entries, fresh random instances, and mutations of both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph, generators as gen
+
+__all__ = [
+    "bridge_chain",
+    "glued_cliques",
+    "disconnected_union",
+    "messy_edges_graph",
+    "named_corpus",
+    "random_graph",
+    "mutate",
+    "MUTATIONS",
+]
+
+
+def bridge_chain(num_links: int, cycle_len: int = 4) -> tuple[Graph, int]:
+    """Cycles joined by bridge edges: C - bridge - C - bridge - ...
+
+    Every cycle is one block and every connecting edge is a single-edge
+    block (a bridge), so the expected block count is ``2*num_links - 1``.
+    Returns ``(graph, expected_num_bccs)``.
+    """
+    if num_links < 1 or cycle_len < 3:
+        raise ValueError("need num_links >= 1 and cycle_len >= 3")
+    us, vs = [], []
+    base = 0
+    for i in range(num_links):
+        ring = np.arange(base, base + cycle_len, dtype=np.int64)
+        us.append(ring)
+        vs.append(np.roll(ring, -1))
+        if i + 1 < num_links:  # bridge to the next cycle's first vertex
+            us.append(np.array([base + cycle_len - 1], dtype=np.int64))
+            vs.append(np.array([base + cycle_len], dtype=np.int64))
+        base += cycle_len
+    return Graph(base, np.concatenate(us), np.concatenate(vs)), 2 * num_links - 1
+
+
+def glued_cliques(sizes, *, hub: bool = False) -> tuple[Graph, int]:
+    """Cliques glued at articulation points.
+
+    ``hub=False`` chains them (clique i shares one vertex with clique
+    i+1, like :func:`repro.graph.generators.cliques_on_a_path` but with
+    heterogeneous sizes); ``hub=True`` glues every clique to one shared
+    hub vertex (a maximal-degree articulation point).  Returns
+    ``(graph, expected_num_bccs)``.
+    """
+    sizes = [int(s) for s in sizes]
+    if not sizes or any(s < 2 for s in sizes):
+        raise ValueError("need at least one clique of size >= 2")
+    us, vs = [], []
+    nxt = 1  # vertex 0 is the first shared vertex / the hub
+    for k in sizes:
+        attach = 0 if hub else (nxt - 1 if us else 0)
+        labels = np.concatenate(
+            ([attach], np.arange(nxt, nxt + k - 1, dtype=np.int64))
+        )
+        iu, iv = np.triu_indices(k, k=1)
+        us.append(labels[iu])
+        vs.append(labels[iv])
+        nxt += k - 1
+    return Graph(nxt, np.concatenate(us), np.concatenate(vs)), len(sizes)
+
+
+def disconnected_union(graphs) -> Graph:
+    """Disjoint union: each input graph on its own shifted vertex range."""
+    us, vs = [], []
+    n = 0
+    for g in graphs:
+        us.append(g.u + n)
+        vs.append(g.v + n)
+        n += g.n
+    if not us:
+        return Graph(0, [], [])
+    return Graph(n, np.concatenate(us), np.concatenate(vs), normalize=False)
+
+
+def messy_edges_graph(g: Graph, seed=0) -> Graph:
+    """Rebuild ``g`` from a deliberately messy edge list.
+
+    Duplicates edges (in both orientations), interleaves self-loops, and
+    shuffles the order — :class:`~repro.graph.edgelist.Graph`
+    normalization must collapse all of it back to ``g``.  Used both as a
+    corpus construction (the messy input *is* the test) and by the
+    edge-permutation metamorphic relation.
+    """
+    rng = np.random.default_rng(seed)
+    if g.m == 0:
+        return Graph(g.n, [], [])
+    dup = rng.integers(0, g.m, size=max(1, g.m // 2))
+    loops = rng.integers(0, g.n, size=max(1, g.n // 4))
+    u = np.concatenate([g.u, g.v[dup], loops])
+    v = np.concatenate([g.v, g.u[dup], loops])
+    order = rng.permutation(u.size)
+    flip = rng.random(u.size) < 0.5
+    uu = np.where(flip, v, u)[order]
+    vv = np.where(flip, u, v)[order]
+    return Graph(g.n, uu, vv, normalize=True)
+
+
+def named_corpus() -> list[tuple[str, Graph]]:
+    """The named adversarial corpus: every structural case, small sizes.
+
+    Superset of the fixture list the test suites historically duplicated;
+    ``tests/strategies.py`` re-exports it as the shared pytest corpus.
+    """
+    k7_chain = glued_cliques([4, 3, 5])[0]
+    corpus = [
+        # degenerate shapes
+        ("empty", Graph(0, [], [])),
+        ("one-vertex", Graph(1, [], [])),
+        ("one-edge", Graph(2, [0], [1])),
+        ("two-isolated", Graph(2, [], [])),
+        # elementary blocks
+        ("triangle", gen.cycle_graph(3)),
+        ("square", gen.cycle_graph(4)),
+        ("path-2", gen.path_graph(3)),
+        ("k5", gen.complete_graph(5)),
+        ("k2,3", Graph(5, [0, 0, 0, 1, 1, 1], [2, 3, 4, 2, 3, 4])),
+        # trees and stars: every edge its own block
+        ("path-10", gen.path_graph(10)),
+        ("long-path", gen.path_graph(48)),
+        ("star-8", gen.star_graph(8)),
+        ("star-32", gen.star_graph(32)),
+        ("binary-tree", gen.binary_tree(15)),
+        # grids / tori: single big blocks
+        ("grid-4x5", gen.grid_graph(4, 5)),
+        ("torus-3x4", gen.torus_graph(3, 4)),
+        # articulation-point structures
+        ("cliques-path", gen.cliques_on_a_path(3, 4)[0]),
+        ("glued-cliques", k7_chain),
+        ("clique-hub", glued_cliques([3, 4, 3], hub=True)[0]),
+        ("cycles-chain", gen.cycles_chain(4, 5)[0]),
+        ("bridge-chain", bridge_chain(4, cycle_len=4)[0]),
+        ("block-graph", gen.block_graph(12, seed=3)[0]),
+        # random families
+        ("gnm-sparse", gen.random_gnm(40, 50, seed=5)),
+        ("gnm-disconnected", gen.random_gnm(60, 40, seed=6)),
+        ("gnm-connected", gen.random_connected_gnm(80, 200, seed=7)),
+        ("gnm-dense", gen.dense_gnm(18, 0.7, seed=8)),
+        ("rmat-small", gen.rmat_graph(5, edge_factor=4.0, seed=9)),
+        # hand-built multi-block shapes
+        ("theta", Graph(6, [0, 1, 2, 0, 4, 5, 0], [1, 2, 3, 4, 5, 3, 3])),
+        ("two-triangles-bridge",
+         Graph(6, [0, 1, 2, 2, 3, 4, 5], [1, 2, 0, 3, 4, 5, 3])),
+        # normalization stress: duplicates + self-loops must collapse away
+        ("messy-k5", messy_edges_graph(gen.complete_graph(5), seed=10)),
+        ("messy-block-graph",
+         messy_edges_graph(gen.block_graph(8, seed=4)[0], seed=11)),
+        # disconnected unions of heterogeneous pieces
+        ("union-clique-cycle-path",
+         disconnected_union([gen.complete_graph(4), gen.cycle_graph(5),
+                             gen.path_graph(4)])),
+        ("union-with-isolated",
+         disconnected_union([gen.cycle_graph(3), Graph(3, [], []),
+                             gen.star_graph(4)])),
+    ]
+    return corpus
+
+
+#: Weighted family mix for :func:`random_graph` — biased toward the
+#: shapes where labeling bugs historically hide.
+_FAMILIES = (
+    ("gnm", 0.22),
+    ("connected-gnm", 0.18),
+    ("tree", 0.08),
+    ("block-graph", 0.14),
+    ("bridge-chain", 0.08),
+    ("glued-cliques", 0.08),
+    ("star", 0.05),
+    ("path", 0.05),
+    ("dense", 0.06),
+    ("union", 0.06),
+)
+
+
+def random_graph(rng: np.random.Generator, max_n: int = 64) -> tuple[str, Graph]:
+    """One seeded random instance from the family mix.
+
+    Returns ``(family_name, graph)``; deterministic in ``rng`` state.
+    """
+    names = [f for f, _ in _FAMILIES]
+    weights = np.array([w for _, w in _FAMILIES])
+    family = str(rng.choice(names, p=weights / weights.sum()))
+    n = int(rng.integers(3, max(4, max_n)))
+    seed = int(rng.integers(0, 2**31 - 1))
+    if family == "gnm":
+        m = int(rng.integers(0, min(n * (n - 1) // 2, 4 * n) + 1))
+        return family, gen.random_gnm(n, m, seed=seed)
+    if family == "connected-gnm":
+        m = int(rng.integers(n - 1, min(n * (n - 1) // 2, 5 * n) + 1))
+        return family, gen.random_connected_gnm(n, m, seed=seed)
+    if family == "tree":
+        return family, gen.random_tree(n, seed=seed)
+    if family == "block-graph":
+        return family, gen.block_graph(max(1, n // 4), seed=seed)[0]
+    if family == "bridge-chain":
+        return family, bridge_chain(max(1, n // 5), cycle_len=int(rng.integers(3, 7)))[0]
+    if family == "glued-cliques":
+        sizes = [int(rng.integers(2, 6)) for _ in range(max(1, n // 6))]
+        return family, glued_cliques(sizes, hub=bool(rng.integers(0, 2)))[0]
+    if family == "star":
+        return family, gen.star_graph(n)
+    if family == "path":
+        return family, gen.path_graph(n)
+    if family == "dense":
+        nn = max(4, min(n, 24))
+        return family, gen.dense_gnm(nn, float(rng.uniform(0.5, 1.0)), seed=seed)
+    # union of two smaller random pieces
+    _, a = random_graph(rng, max_n=max(3, max_n // 2))
+    _, b = random_graph(rng, max_n=max(3, max_n // 2))
+    return family, disconnected_union([a, b])
+
+
+# --------------------------------------------------------------------- #
+# seeded mutation
+
+
+def _mut_add_edge(g, rng):
+    if g.n < 2:
+        return g
+    u, v = int(rng.integers(0, g.n)), int(rng.integers(0, g.n))
+    return Graph(g.n, np.append(g.u, u), np.append(g.v, v), normalize=True)
+
+
+def _mut_remove_edge(g, rng):
+    if g.m == 0:
+        return g
+    mask = np.zeros(g.m, dtype=bool)
+    mask[int(rng.integers(0, g.m))] = True
+    return g.subgraph_without_edges(mask)
+
+
+def _mut_pendant_vertex(g, rng):
+    attach = int(rng.integers(0, g.n)) if g.n else 0
+    return Graph(g.n + 1, np.append(g.u, attach), np.append(g.v, g.n))
+
+
+def _mut_subdivide_edge(g, rng):
+    if g.m == 0:
+        return g
+    i = int(rng.integers(0, g.m))
+    a, b = int(g.u[i]), int(g.v[i])
+    keep = np.ones(g.m, dtype=bool)
+    keep[i] = False
+    w = g.n
+    return Graph(
+        g.n + 1,
+        np.concatenate([g.u[keep], [a, w]]),
+        np.concatenate([g.v[keep], [w, b]]),
+        normalize=True,
+    )
+
+
+def _mut_relabel(g, rng):
+    perm = rng.permutation(g.n).astype(np.int64)
+    if g.m == 0:
+        return Graph(g.n, [], [])
+    return Graph(g.n, perm[g.u], perm[g.v], normalize=True)
+
+
+def _mut_union_small(g, rng):
+    _, piece = random_graph(rng, max_n=8)
+    return disconnected_union([g, piece])
+
+
+#: name -> fn(graph, rng) -> graph.  Mutations never raise on any input
+#: (degenerate graphs are returned unchanged where the edit is undefined).
+MUTATIONS = {
+    "add-edge": _mut_add_edge,
+    "remove-edge": _mut_remove_edge,
+    "pendant-vertex": _mut_pendant_vertex,
+    "subdivide-edge": _mut_subdivide_edge,
+    "relabel": _mut_relabel,
+    "union-small": _mut_union_small,
+}
+
+
+def mutate(g: Graph, rng: np.random.Generator, rounds: int = 1) -> Graph:
+    """Apply ``rounds`` seeded random mutations to ``g``."""
+    names = sorted(MUTATIONS)
+    for _ in range(max(0, int(rounds))):
+        g = MUTATIONS[names[int(rng.integers(0, len(names)))]](g, rng)
+    return g

@@ -1,0 +1,93 @@
+"""Shrink a failing graph to a small reproducer.
+
+Greedy delta-debugging over the edge list: try deleting contiguous edge
+chunks (halving the chunk size ddmin-style down to single edges), then
+whole vertices with all incident edges, compacting away isolated
+vertices after every accepted deletion.  The predicate receives a
+candidate :class:`~repro.graph.edgelist.Graph` and returns True while the
+failure still reproduces; the minimizer only ever *keeps* candidates the
+predicate accepts, so the result is guaranteed to still fail.
+
+Predicates can be expensive (a differential check runs the algorithm
+under test plus sequential Tarjan), so ``max_checks`` bounds the total
+number of predicate evaluations; the best graph found so far is returned
+when the budget runs out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["minimize_graph"]
+
+
+def _drop_isolated(g: Graph) -> Graph:
+    """Compact away degree-0 vertices (monotone remap keeps edges canonical)."""
+    deg = g.degrees()
+    keep = np.flatnonzero(deg > 0)
+    if keep.size == g.n:
+        return g
+    remap = np.full(g.n, -1, dtype=np.int64)
+    remap[keep] = np.arange(keep.size, dtype=np.int64)
+    return Graph(int(keep.size), remap[g.u], remap[g.v], normalize=False)
+
+
+def _without_vertex(g: Graph, x: int) -> Graph:
+    mask = (g.u == x) | (g.v == x)
+    return _drop_isolated(g.subgraph_without_edges(mask))
+
+
+def minimize_graph(g: Graph, predicate, max_checks: int = 2000) -> Graph:
+    """Smallest graph found (by edge count) on which ``predicate`` holds.
+
+    ``predicate(candidate) -> bool`` must be deterministic; True means
+    "still failing".  Raises ``ValueError`` if it does not hold on ``g``
+    itself.
+    """
+    checks = 0
+
+    def holds(h: Graph) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        return bool(predicate(h))
+
+    if not holds(g):
+        raise ValueError("predicate does not hold on the initial graph")
+    g = _drop_isolated(g)
+
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+
+        # chunked edge deletion, chunk = m/2, m/4, ..., 1
+        chunk = max(1, g.m // 2)
+        while checks < max_checks:
+            i = 0
+            while i < g.m and checks < max_checks:
+                mask = np.zeros(g.m, dtype=bool)
+                mask[i : i + chunk] = True
+                h = _drop_isolated(g.subgraph_without_edges(mask))
+                if holds(h):
+                    g = h  # indices shifted; retry the same position
+                    improved = True
+                else:
+                    i += chunk
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+
+        # whole-vertex deletion sweeps up what edge chunks missed
+        x = 0
+        while x < g.n and checks < max_checks:
+            h = _without_vertex(g, x)
+            if h.m < g.m and holds(h):
+                g = h
+                improved = True
+            else:
+                x += 1
+
+    return g

@@ -145,22 +145,42 @@ class ProcessTeam(Team):
         method = start_method or os.environ.get("REPRO_RUNTIME_START")
         if method is None:
             method = "fork" if "fork" in mp.get_all_start_methods() else None
-        ctx = mp.get_context(method)
+        self._ctx = mp.get_context(method)
         # name -> (shm, array); plus id(array) -> name for wire translation
         self._segments: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
         self._by_id: Dict[int, str] = {}
         self._shutdown = False
-        self._conns = []
-        self._procs = []
+        self._conns = [None] * p
+        self._procs = [None] * p
         for rank in range(p):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_worker_main, args=(rank, p, child_conn), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            self._spawn(rank)
+
+    def _spawn(self, rank: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main, args=(rank, self.p, child_conn), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[rank] = parent_conn
+        self._procs[rank] = proc
+
+    def _respawn(self, rank: int) -> None:
+        """Replace a dead worker so the team stays usable after a crash.
+
+        The fresh worker starts with an empty attachment cache and
+        re-attaches to live segments lazily on its next job.
+        """
+        try:
+            self._conns[rank].close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        proc = self._procs[rank]
+        proc.join(timeout=1)
+        if proc.is_alive():  # pragma: no cover - zombie worker
+            proc.terminate()
+            proc.join(timeout=1)
+        self._spawn(rank)
 
     # -- shared-array management ---------------------------------------- #
 
@@ -203,13 +223,20 @@ class ProcessTeam(Team):
                 names.append(name)
         if not names:
             return
-        if not self._shutdown:
-            self._broadcast(("release", names))
-            self._collect()
-        for name in names:
-            seg, _ = self._segments.pop(name)
-            seg.close()
-            seg.unlink()
+        try:
+            if not self._shutdown:
+                sent = self._broadcast(("release", names))
+                self._collect(expected=sent)
+        finally:
+            # unlink unconditionally — a worker crash mid-release must not
+            # leak the segments (names are already popped from _by_id)
+            for name in names:
+                seg, _ = self._segments.pop(name)
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
 
     # -- execution ------------------------------------------------------ #
 
@@ -220,27 +247,72 @@ class ProcessTeam(Team):
                 return _ShmRef(name, arg.shape, arg.dtype.str)
         return arg
 
-    def _broadcast(self, msg) -> None:
-        for conn in self._conns:
-            conn.send(msg)
+    def _broadcast(self, msg) -> list:
+        """Send to every worker; returns the ranks that accepted the message.
+
+        A send can fail only when the worker is already dead (broken
+        pipe); that rank is skipped — not raised — so the remaining
+        workers still receive the job and stay in protocol sync.
+        """
+        sent = []
+        for rank, conn in enumerate(self._conns):
+            try:
+                conn.send(msg)
+                sent.append(rank)
+            except (BrokenPipeError, OSError):
+                pass
+        return sent
 
     def _recv(self, rank: int):
+        """One response from ``rank``, or ``None`` if the worker died.
+
+        Polls with a liveness check (a worker dying mid-job would
+        deadlock a blocking recv) and drains one last time after death —
+        the response may have been written just before the worker exited.
+        """
         conn, proc = self._conns[rank], self._procs[rank]
         while True:
-            if conn.poll(0.1):
-                return conn.recv()
+            try:
+                if conn.poll(0.1):
+                    return conn.recv()
+            except (EOFError, OSError):
+                return None
             if not proc.is_alive():
-                raise RuntimeError(
-                    f"process-team worker {rank} (pid {proc.pid}) died "
-                    f"unexpectedly with exit code {proc.exitcode}"
-                )
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                return None
 
-    def _collect(self) -> None:
-        errors = []
+    def _collect(self, expected=None) -> None:
+        """Gather one response per worker, then aggregate failures.
+
+        Every expected rank is drained before anything is raised —
+        raising at the first dead worker would leave the later workers'
+        responses queued in their pipes and desynchronize the next job.
+        Dead workers are respawned so the team remains usable.
+        """
+        expected = set(range(self.p) if expected is None else expected)
+        errors, dead = [], []
         for rank in range(self.p):
-            status, payload = self._recv(rank)
+            resp = self._recv(rank) if rank in expected else None
+            if resp is None:
+                proc = self._procs[rank]
+                proc.join(timeout=1)  # reap, so exitcode is populated
+                dead.append(rank)
+                errors.append(
+                    RuntimeError(
+                        f"process-team worker {rank} (pid {proc.pid}) died "
+                        f"unexpectedly with exit code {proc.exitcode}"
+                    )
+                )
+                continue
+            status, payload = resp
             if status == "err":
                 errors.append(payload)
+        for rank in dead:
+            self._respawn(rank)
         raise_aggregate(errors)
 
     def parallel_for(self, n: int, body: Callable, *args) -> None:
@@ -253,8 +325,8 @@ class ProcessTeam(Team):
         if self._shutdown:
             raise RuntimeError("team already shut down")
         wire_args = tuple(self._wire(a) for a in args)
-        self._broadcast(("run", body, n, wire_args))
-        self._collect()
+        sent = self._broadcast(("run", body, n, wire_args))
+        self._collect(expected=sent)
 
     # -- lifecycle ------------------------------------------------------ #
 

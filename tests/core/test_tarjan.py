@@ -9,6 +9,7 @@ from repro.core import tarjan_bcc
 from repro.graph import Graph, generators as gen
 from repro.smp import FLAT_UNIT_COSTS, Machine, sequential_machine
 from tests.conftest import nx_edge_labels
+from tests.strategies import gnm_graphs
 
 
 class TestTarjan:
@@ -64,10 +65,8 @@ class TestTarjan:
         res = tarjan_bcc(g)
         np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))
 
-    @given(st.integers(2, 40), st.data())
+    @given(gnm_graphs(max_n=40))
     @settings(max_examples=40, deadline=None)
-    def test_hypothesis_random_graphs(self, n, data):
-        m = data.draw(st.integers(0, min(n * (n - 1) // 2, 4 * n)))
-        g = gen.random_gnm(n, m, seed=data.draw(st.integers(0, 10**6)))
+    def test_hypothesis_random_graphs(self, g):
         res = tarjan_bcc(g)
         np.testing.assert_array_equal(res.edge_labels, nx_edge_labels(g))

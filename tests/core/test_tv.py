@@ -9,6 +9,7 @@ from repro.core import tarjan_bcc, tv_bcc, tv_opt_bcc, tv_smp_bcc
 from repro.graph import Graph, generators as gen
 from repro.smp import FLAT_UNIT_COSTS, Machine, e4500
 from tests.conftest import nx_edge_labels
+from tests.strategies import gnm_graphs
 
 VARIANTS = ["smp", "opt"]
 
@@ -73,11 +74,9 @@ class TestCorrectness:
         assert tv_opt_bcc(g).algorithm == "tv-opt"
         assert tv_bcc(g, algorithm_name="custom").algorithm == "custom"
 
-    @given(st.integers(2, 35), st.data())
+    @given(gnm_graphs(max_n=35))
     @settings(max_examples=25, deadline=None)
-    def test_hypothesis_all_variants(self, n, data):
-        m = data.draw(st.integers(0, min(n * (n - 1) // 2, 4 * n)))
-        g = gen.random_gnm(n, m, seed=data.draw(st.integers(0, 10**6)))
+    def test_hypothesis_all_variants(self, g):
         ref = nx_edge_labels(g)
         for variant in VARIANTS:
             res = tv_bcc(g, variant=variant)

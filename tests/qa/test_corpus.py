@@ -1,0 +1,142 @@
+"""The adversarial corpus: generators' invariants and seeded determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.tarjan import tarjan_bcc
+from repro.graph import Graph, generators as gen
+from repro.qa.corpus import (
+    MUTATIONS,
+    bridge_chain,
+    disconnected_union,
+    glued_cliques,
+    messy_edges_graph,
+    mutate,
+    named_corpus,
+    random_graph,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("links,cycle_len", [(1, 3), (2, 4), (5, 4), (3, 6)])
+    def test_bridge_chain_block_count(self, links, cycle_len):
+        g, expected = bridge_chain(links, cycle_len=cycle_len)
+        assert expected == 2 * links - 1
+        assert tarjan_bcc(g).num_components == expected
+
+    def test_bridge_chain_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            bridge_chain(0)
+        with pytest.raises(ValueError):
+            bridge_chain(2, cycle_len=2)
+
+    @pytest.mark.parametrize("sizes", [[2], [3, 3], [4, 2, 5], [2, 2, 2, 2]])
+    @pytest.mark.parametrize("hub", [False, True])
+    def test_glued_cliques_block_count(self, sizes, hub):
+        g, expected = glued_cliques(sizes, hub=hub)
+        assert expected == len(sizes)
+        res = tarjan_bcc(g)
+        assert res.num_components == expected
+        if len(sizes) >= 2 and hub:
+            # the hub is the unique articulation point
+            np.testing.assert_array_equal(res.articulation_points(), [0])
+
+    def test_glued_cliques_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            glued_cliques([])
+        with pytest.raises(ValueError):
+            glued_cliques([3, 1])
+
+    def test_disconnected_union_counts(self):
+        parts = [gen.complete_graph(4), gen.cycle_graph(5), Graph(3, [], [])]
+        u = disconnected_union(parts)
+        assert u.n == sum(p.n for p in parts)
+        assert u.m == sum(p.m for p in parts)
+        # block counts add over a disjoint union
+        assert tarjan_bcc(u).num_components == sum(
+            tarjan_bcc(p).num_components for p in parts
+        )
+
+    def test_disconnected_union_empty(self):
+        u = disconnected_union([])
+        assert u.n == 0 and u.m == 0
+
+    def test_messy_edges_graph_normalizes_back(self):
+        for base in (gen.complete_graph(5), gen.block_graph(10, seed=2)[0],
+                     gen.path_graph(7)):
+            for seed in range(3):
+                h = messy_edges_graph(base, seed=seed)
+                assert h.n == base.n
+                np.testing.assert_array_equal(h.u, base.u)
+                np.testing.assert_array_equal(h.v, base.v)
+
+
+class TestNamedCorpus:
+    def test_names_unique_and_nonempty(self):
+        entries = named_corpus()
+        names = [name for name, _ in entries]
+        assert len(names) == len(set(names))
+        assert len(entries) >= 30
+
+    def test_superset_of_legacy_fixture_names(self):
+        # the names the per-suite copy-pasted lists used; suites now import
+        # the shared corpus, so these must keep existing
+        legacy = {
+            "empty", "one-vertex", "one-edge", "two-isolated", "triangle",
+            "square", "path-2", "path-10", "star-8", "k5", "k2,3",
+            "binary-tree", "grid-4x5", "torus-3x4", "cliques-path",
+            "cycles-chain", "block-graph", "gnm-sparse", "gnm-disconnected",
+            "gnm-connected", "gnm-dense", "theta", "two-triangles-bridge",
+        }
+        names = {name for name, _ in named_corpus()}
+        assert legacy <= names
+
+    def test_every_entry_is_valid(self):
+        for name, g in named_corpus():
+            assert isinstance(g, Graph), name
+            # normalized invariants: u < v, lexicographically sorted, unique
+            if g.m:
+                assert (g.u < g.v).all(), name
+                key = g.u * np.int64(g.n) + g.v
+                assert (np.diff(key) > 0).all(), name
+
+    def test_deterministic(self):
+        a = named_corpus()
+        b = named_corpus()
+        for (na, ga), (nb, gb) in zip(a, b):
+            assert na == nb
+            assert ga == gb
+
+
+class TestRandomAndMutate:
+    def test_random_graph_deterministic_in_rng(self):
+        for seed in range(5):
+            f1, g1 = random_graph(np.random.default_rng(seed))
+            f2, g2 = random_graph(np.random.default_rng(seed))
+            assert f1 == f2 and g1 == g2
+
+    def test_random_graph_family_coverage(self):
+        rng = np.random.default_rng(0)
+        families = {random_graph(rng, max_n=32)[0] for _ in range(120)}
+        assert len(families) >= 6
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_each_mutation_valid_on_corpus(self, name):
+        fn = MUTATIONS[name]
+        for gname, g in named_corpus():
+            rng = np.random.default_rng(17)
+            h = fn(g, rng)
+            assert isinstance(h, Graph), (name, gname)
+            if h.m:
+                assert (h.u < h.v).all(), (name, gname)
+                assert int(h.u.max()) < h.n and int(h.v.max()) < h.n
+
+    def test_mutate_deterministic(self):
+        g = gen.random_connected_gnm(30, 60, seed=1)
+        h1 = mutate(g, np.random.default_rng(9), rounds=3)
+        h2 = mutate(g, np.random.default_rng(9), rounds=3)
+        assert h1 == h2
+
+    def test_mutate_zero_rounds_is_identity(self):
+        g = gen.cycle_graph(5)
+        assert mutate(g, np.random.default_rng(0), rounds=0) == g

@@ -1,0 +1,81 @@
+"""Greedy minimizer: shrinks while preserving the failure predicate."""
+
+import numpy as np
+import pytest
+
+from repro.core.tarjan import tarjan_bcc
+from repro.graph import Graph, generators as gen
+from repro.qa.minimize import minimize_graph
+
+
+def has_cycle(g: Graph) -> bool:
+    # any block with more than one edge means a cycle exists
+    res = tarjan_bcc(g)
+    if g.m == 0:
+        return False
+    return bool((np.bincount(res.edge_labels) >= 2).any())
+
+
+class TestMinimize:
+    def test_cycle_predicate_shrinks_to_triangle(self):
+        g = gen.random_connected_gnm(40, 120, seed=3)
+        assert has_cycle(g)
+        small = minimize_graph(g, has_cycle)
+        # greedy single-edge deletion is 1-minimal, so the result is a short
+        # cycle: either the triangle or a square it cannot escape from
+        assert small.m <= 4 and small.n == small.m
+        assert has_cycle(small)
+        # 1-minimality: removing any single edge kills the cycle
+        for i in range(small.m):
+            keep = [j for j in range(small.m) if j != i]
+            h = Graph(small.n, small.u[keep], small.v[keep])
+            assert not has_cycle(h)
+
+    def test_bridge_predicate_shrinks_to_single_edge(self):
+        def has_bridge(h):
+            return h.m > 0 and tarjan_bcc(h).bridges().size > 0
+
+        g = gen.block_graph(14, seed=5)[0]
+        assert has_bridge(g)
+        small = minimize_graph(g, has_bridge)
+        assert small.n == 2 and small.m == 1
+
+    def test_result_always_satisfies_predicate(self):
+        def weird(h):
+            return h.m >= 4 and bool((h.degrees() >= 3).any())
+
+        g = gen.random_connected_gnm(30, 90, seed=8)
+        small = minimize_graph(g, weird)
+        assert weird(small)
+        assert small.m <= g.m
+
+    def test_isolated_vertices_compacted(self):
+        g = gen.random_gnm(50, 20, seed=2)  # plenty of isolated vertices
+
+        def nonempty(h):
+            return h.m >= 1
+
+        small = minimize_graph(g, nonempty)
+        assert small.m == 1 and small.n == 2
+        assert (small.degrees() > 0).all()
+
+    def test_predicate_must_hold_initially(self):
+        with pytest.raises(ValueError, match="does not hold"):
+            minimize_graph(gen.path_graph(4), lambda h: False)
+
+    def test_budget_bounds_predicate_calls(self):
+        calls = {"n": 0}
+
+        def counting(h):
+            calls["n"] += 1
+            return h.m >= 1
+
+        minimize_graph(gen.random_connected_gnm(60, 180, seed=1), counting,
+                       max_checks=25)
+        assert calls["n"] <= 25
+
+    def test_deterministic(self):
+        g = gen.random_connected_gnm(30, 80, seed=4)
+        a = minimize_graph(g, has_cycle)
+        b = minimize_graph(g, has_cycle)
+        assert a == b

@@ -12,18 +12,9 @@ import pytest
 import repro
 from repro.graph import Graph, generators as gen
 from repro.runtime import make_team
+from tests.strategies import driver_graphs
 
 ALL_BACKENDS = ["simulated", "serial", "threads", "processes"]
-
-
-def driver_graphs():
-    return [
-        ("gnm", gen.random_connected_gnm(400, 1200, seed=1)),
-        ("torus", gen.torus_graph(12, 14)),
-        ("cliques-path", gen.cliques_on_a_path(4, 6)[0]),
-        ("star", gen.star_graph(60)),
-        ("sparse-disconnected", gen.random_gnm(300, 260, seed=9)),
-    ]
 
 
 @pytest.mark.parametrize("backend", ALL_BACKENDS)

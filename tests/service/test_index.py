@@ -9,7 +9,8 @@ from repro.core.tarjan import tarjan_bcc
 from repro.graph import Graph, generators as gen
 from repro.service.driver import oracle_answer
 from repro.service.index import BCCIndex
-from tests.conftest import graph_corpus, nx_articulation_points, nx_bridges
+from tests.conftest import nx_articulation_points, nx_bridges
+from tests.strategies import graph_corpus
 
 
 def exhaustive_check(g: Graph, idx: BCCIndex) -> None:

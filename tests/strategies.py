@@ -1,0 +1,87 @@
+"""Shared graph fixtures and hypothesis strategies for every test suite.
+
+One place instead of per-suite copy-pasted lists: the named corpus is
+:func:`repro.qa.corpus.named_corpus` (the fuzzer and the tests exercise
+the same instances), plus hypothesis strategies for drawing random
+graphs and the medium-sized driver graphs the runtime end-to-end tests
+run the full pipeline on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph import Graph, generators as gen
+from repro.qa.corpus import (  # noqa: F401 - re-exported for test suites
+    bridge_chain,
+    disconnected_union,
+    glued_cliques,
+    messy_edges_graph,
+    mutate,
+    named_corpus,
+)
+
+
+def graph_corpus() -> list[tuple[str, Graph]]:
+    """The shared ``(name, graph)`` corpus (see ``repro.qa.corpus``)."""
+    return named_corpus()
+
+
+def connected_corpus() -> list[tuple[str, Graph]]:
+    from repro.graph.validate import is_connected
+
+    return [(name, g) for name, g in named_corpus() if g.n > 0 and is_connected(g)]
+
+
+def driver_graphs() -> list[tuple[str, Graph]]:
+    """Medium instances for full-pipeline end-to-end runs (all backends)."""
+    return [
+        ("gnm", gen.random_connected_gnm(400, 1200, seed=1)),
+        ("torus", gen.torus_graph(12, 14)),
+        ("cliques-path", gen.cliques_on_a_path(4, 6)[0]),
+        ("star", gen.star_graph(60)),
+        ("sparse-disconnected", gen.random_gnm(300, 260, seed=9)),
+        ("bridge-chain", bridge_chain(20, cycle_len=5)[0]),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# hypothesis strategies
+
+
+@st.composite
+def gnm_graphs(draw, min_n: int = 2, max_n: int = 40, max_density: int = 4,
+               connected: bool = False) -> Graph:
+    """Random G(n, m) graphs (optionally connected), seeded through hypothesis.
+
+    Mirrors the ad-hoc ``(n, data)`` pattern the suites used inline, so
+    shrinking works on ``n``, ``m`` and the generator seed.
+    """
+    n = draw(st.integers(min_n, max_n))
+    cap = min(n * (n - 1) // 2, max_density * n)
+    lo = n - 1 if connected else 0
+    m = draw(st.integers(min(lo, cap), cap))
+    seed = draw(st.integers(0, 10**6))
+    if connected:
+        return gen.random_connected_gnm(n, max(m, n - 1), seed=seed)
+    return gen.random_gnm(n, m, seed=seed)
+
+
+@st.composite
+def corpus_graphs(draw) -> Graph:
+    """One graph drawn from the named corpus (uniform over entries)."""
+    entries = named_corpus()
+    return entries[draw(st.integers(0, len(entries) - 1))][1]
+
+
+@st.composite
+def any_graphs(draw, max_n: int = 40) -> Graph:
+    """Corpus entries, random G(n, m), or seeded mutations of either."""
+    import numpy as np
+
+    base = draw(st.one_of(corpus_graphs(), gnm_graphs(max_n=max_n)))
+    rounds = draw(st.integers(0, 2))
+    if rounds:
+        seed = draw(st.integers(0, 10**6))
+        return mutate(base, np.random.default_rng(seed), rounds=rounds)
+    return base

@@ -304,3 +304,85 @@ class TestWorkloadCLI:
         path, _ = graph_file
         with pytest.raises(SystemExit, match="workload run"):
             main(["workload", "run", path])
+
+
+class TestVerifyFlag:
+    def test_verify_human_output(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["bcc", path, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against sequential Tarjan: True" in out
+
+    def test_verify_json_field(self, graph_file, capsys):
+        import json
+
+        path, _ = graph_file
+        assert main(["bcc", path, "--verify", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verified"] is True
+
+    def test_verify_on_real_backend(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["bcc", path, "--verify", "--backend", "serial",
+                     "--p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against sequential Tarjan: True" in out
+        assert "measured wall-clock (serial)" in out
+
+    def test_verify_failure_exits(self, tmp_path, monkeypatch, capsys):
+        # plant a wrong answer for the parallel algorithm while leaving the
+        # sequential reference intact: --verify must notice and exit nonzero
+        from repro.api import biconnected_components as real
+        from repro.core.result import BCCResult
+
+        def forged(g, algorithm="tv-filter", **kwargs):
+            if algorithm == "sequential":
+                return real(g, algorithm="sequential")
+            return BCCResult(g, np.zeros(g.m, dtype=np.int64), algorithm)
+
+        monkeypatch.setattr("repro.cli.biconnected_components", forged)
+        # a path has one block per edge; the forged single-block answer is wrong
+        path = tmp_path / "p.edges"
+        write_edgelist(gen.path_graph(6), path)
+        with pytest.raises(SystemExit, match="labels disagree"):
+            main(["bcc", str(path), "--verify"])
+        assert "verified against sequential Tarjan: False" in capsys.readouterr().out
+
+
+class TestBadOptions:
+    def test_unknown_backend_exits_2(self, graph_file, capsys):
+        path, _ = graph_file
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bcc", path, "--backend", "gpu"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'gpu'" in capsys.readouterr().err
+
+    def test_unknown_algorithm_exits_2(self, graph_file, capsys):
+        path, _ = graph_file
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bcc", path, "--algorithm", "magic"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'magic'" in capsys.readouterr().err
+
+    def test_unknown_workload_strategy_stage(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit, match="unknown pipeline stage"):
+            main(["bcc", path, "--algorithm", "custom", "--strategy", "zz=rmq"])
+
+
+class TestInfoRoundTrip:
+    def test_info_json_matches_recomputation(self, graph_file, capsys):
+        import json
+
+        from repro.core import tarjan_bcc
+
+        path, g = graph_file
+        assert main(["info", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        res = tarjan_bcc(g)
+        assert doc["n"] == g.n and doc["m"] == g.m
+        assert doc["blocks"] == res.num_components
+        assert doc["articulation_points"] == int(res.articulation_points().size)
+        assert doc["bridges"] == int(res.bridges().size)
+        assert doc["biconnected"] is (res.num_components == 1
+                                      and res.articulation_points().size == 0)
