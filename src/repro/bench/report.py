@@ -9,6 +9,7 @@ from .runner import AblationRow, Fig3Cell, Fig4Row, FilterClaimRow, FIG4_STEPS
 
 __all__ = [
     "table",
+    "format_profile",
     "format_fig3",
     "format_fig4",
     "format_fig4_bars",
@@ -43,6 +44,27 @@ def _fmt(x) -> str:
     if isinstance(x, float):
         return f"{x:.3f}"
     return str(x)
+
+
+def format_profile(report) -> str:
+    """Per-stage simulated-vs-measured table from a ``MachineReport``.
+
+    The human summary behind ``repro bcc --profile``: one row per
+    top-level stage with the simulated E4500 seconds next to the measured
+    wall-clock seconds of the same span, plus a TOTAL row.
+    """
+    sim = report.region_times_s()
+    wall = report.region_wall_s()
+    rows = [
+        [name, f"{sim.get(name, 0.0):.6f}", f"{wall.get(name, 0.0):.6f}"]
+        for name in dict.fromkeys([*sim, *wall])
+    ]
+    rows.append(["TOTAL", f"{report.time_s:.6f}", f"{report.wall_time_s:.6f}"])
+    return table(
+        ["stage", "sim [s]", "wall [s]"],
+        rows,
+        title=f"Profile — simulated E4500 (p={report.p}) vs measured wall clock",
+    )
 
 
 def format_fig3(cells: list[Fig3Cell]) -> str:

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 import os
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,7 +20,21 @@ import numpy as np
 from ..core import pipeline, tarjan_bcc, tv_bcc, tv_filter_bcc
 from ..core.filter import FilterStats, count_biconnected_components_bfs
 from ..graph import Graph, generators as gen
+from ..obs import Telemetry, WallClockSink
 from ..smp import PAPER_PROCESSOR_GRID, Machine, e4500, sequential_machine
+
+
+def _stopwatch(fn):
+    """Run ``fn()`` inside a telemetry span; return (result, wall seconds).
+
+    All bench wall-clock numbers come from this one span+sink path — the
+    same measurement machinery as ``--trace``/``--profile`` — instead of
+    bespoke ``perf_counter`` pairs.
+    """
+    sink = WallClockSink()
+    with Telemetry(sinks=[sink]).span("timed"):
+        out = fn()
+    return out, sink.seconds["timed"]
 
 __all__ = [
     "default_n",
@@ -122,9 +135,7 @@ def run_fig3(
     for density in densities:
         g = gen.random_connected_gnm(n, density * n, seed=seed)
         seq_machine = sequential_machine()
-        t0 = time.perf_counter()
-        seq = tarjan_bcc(g, seq_machine)
-        seq_wall = time.perf_counter() - t0
+        seq, seq_wall = _stopwatch(lambda: tarjan_bcc(g, seq_machine))
         seq_sim = seq_machine.time_s
         cells.append(
             Fig3Cell(n, g.m, density, "sequential", 1, seq_sim, seq_wall, seq_sim)
@@ -132,9 +143,7 @@ def run_fig3(
         for name, fn in _algorithms():
             if replay:
                 machine = TraceMachine(p=12, costs=SUN_E4500)
-                t0 = time.perf_counter()
-                res = fn(g, machine)
-                wall = time.perf_counter() - t0
+                res, wall = _stopwatch(lambda: fn(g, machine))
                 if verify and not res.same_partition(seq):
                     raise AssertionError(f"{name} disagreed with sequential Tarjan")
                 for p in procs:
@@ -145,9 +154,7 @@ def run_fig3(
                 continue
             for p in procs:
                 machine = e4500(p)
-                t0 = time.perf_counter()
-                res = fn(g, machine)
-                wall = time.perf_counter() - t0
+                res, wall = _stopwatch(lambda: fn(g, machine))
                 if verify and not res.same_partition(seq):
                     raise AssertionError(f"{name} disagreed with sequential Tarjan")
                 cells.append(
@@ -295,9 +302,7 @@ class AblationRow:
 
 def _timed(label, fn, g, p, **extra) -> AblationRow:
     machine = e4500(p)
-    t0 = time.perf_counter()
-    fn(machine)
-    wall = time.perf_counter() - t0
+    _, wall = _stopwatch(lambda: fn(machine))
     return AblationRow(label, g.n, g.m, p, machine.time_s, wall, extra)
 
 
@@ -353,9 +358,11 @@ def run_ablation(
                 suffix = "".join(f"[{v}]" for v in combo.values())
                 label = f"{base} {stage}={strat.name}{suffix}"
                 machine = e4500(p)
-                t0 = time.perf_counter()
-                pipeline.run_pipeline(g, spec, machine, strategies=resolved, **knobs)
-                wall = time.perf_counter() - t0
+                _, wall = _stopwatch(
+                    lambda: pipeline.run_pipeline(
+                        g, spec, machine, strategies=resolved, **knobs
+                    )
+                )
                 region = spec.regions.get(stage, strat.region)
                 regions = [region] if region else list(strat.extra_regions)
                 rts = machine.report().region_times_s()
@@ -544,9 +551,8 @@ def run_runtime_bench(
     def best_of(fn):
         best = math.inf
         for _ in range(repeats):
-            t0 = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - t0)
+            _, wall = _stopwatch(fn)
+            best = min(best, wall)
         return best
 
     def sim_s(fn, p):

@@ -86,6 +86,13 @@ def cmd_bcc(args) -> int:
         raise SystemExit("bcc: a graph file is required (or use --explain)")
     g = _read(args.graph)
     machine = e4500(args.p) if args.p else None
+    if machine is None and (args.profile or args.trace):
+        machine = e4500(1)  # observability needs an instrumented machine
+    trace_sink = None
+    if args.trace:
+        from .obs import ChromeTraceSink
+
+        trace_sink = machine.telemetry.add_sink(ChromeTraceSink())
     workers = args.p if args.p else None
     try:
         res = biconnected_components(
@@ -98,6 +105,8 @@ def cmd_bcc(args) -> int:
         )
     except (TypeError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
+    if trace_sink is not None:
+        trace_sink.write(args.trace)
     verified = None
     if args.verify:
         ref = biconnected_components(g, algorithm="sequential")
@@ -149,6 +158,15 @@ def cmd_bcc(args) -> int:
                   f"{res.report.wall_time_s:.4f}s")
             for step, sec in wall.items():
                 print(f"  {step:22s} {sec:8.4f}s")
+        if args.profile:
+            from .bench.report import format_profile
+
+            print(format_profile(res.report))
+        if trace_sink is not None:
+            workers_seen = len(trace_sink.worker_tracks())
+            print(f"chrome trace written to {args.trace} "
+                  f"({len(trace_sink.events)} events, {workers_seen} worker tracks); "
+                  f"open in chrome://tracing or ui.perfetto.dev")
         if verified is not None:
             print(f"verified against sequential Tarjan: {verified}")
     if verified is False:
@@ -380,6 +398,12 @@ def main(argv=None) -> int:
                         "on mismatch")
     p.add_argument("--labels-out", default=None,
                    help="write per-edge block labels to this file")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-stage table of simulated vs measured "
+                        "wall-clock seconds")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a chrome://tracing / Perfetto JSON timeline "
+                        "(stage spans; plus per-worker tracks on real backends)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON document")
     p.set_defaults(fn=cmd_bcc)

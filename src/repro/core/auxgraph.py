@@ -34,7 +34,7 @@ import numpy as np
 from ..primitives.compaction import pack_indices
 from ..primitives.euler_tour import TreeNumbering
 from ..primitives.prefix_sum import prefix_sum
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = ["AuxiliaryGraph", "build_auxiliary_graph", "condition_counts"]
 
@@ -86,7 +86,7 @@ def build_auxiliary_graph(
     i (-1 for nontree edges).  Work is proportional to the number of
     considered edges, not to m.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     eu_all = np.asarray(edges_u, dtype=np.int64)
     ev_all = np.asarray(edges_v, dtype=np.int64)
     m = eu_all.size

@@ -34,7 +34,7 @@ import numpy as np
 from ..graph import Graph
 from ..primitives.connectivity import shiloach_vishkin
 from ..primitives.spanning_tree import bfs_spanning_tree
-from ..smp import Machine, NullMachine
+from ..smp import Machine, resolve_machine
 from .pipeline import run_pipeline
 from .result import BCCResult
 from .strategies import FilterStats
@@ -85,7 +85,7 @@ def count_biconnected_components_bfs(
        paper's literal recipe and is benchmarked on the random instances
        where it agrees with ground truth.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     if g.m == 0:
         return 0
     bfsres = bfs_spanning_tree(g, root=0, machine=machine)

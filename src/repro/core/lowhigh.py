@@ -31,7 +31,7 @@ from ..primitives.tree_computations import (
     subtree_min_sweep,
     vertices_by_level,
 )
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = ["low_high"]
 
@@ -49,7 +49,7 @@ def low_high(
     ``nontree_u``/``nontree_v`` are the endpoints of the nontree edges to
     inspect (for TV-filter these are only the forest F's edges).
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     pre = numbering.pre
     n = pre.size
     locallow = pre.copy()

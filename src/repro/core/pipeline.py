@@ -32,7 +32,7 @@ from typing import Any, Callable, Mapping
 import numpy as np
 
 from ..runtime import BACKEND_NAMES, Team, active_team, make_team
-from ..smp import Machine, NullMachine
+from ..smp import Machine, NullMachine, resolve_machine
 from .result import BCCResult
 
 __all__ = [
@@ -470,7 +470,7 @@ def run_pipeline(
     bit-identical edge labels.
     """
     spec = algorithm if isinstance(algorithm, AlgorithmSpec) else get_algorithm(algorithm)
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     name = algorithm_name or spec.name
 
     backend_name = backend if backend is not None else (team.name if team else "simulated")
@@ -529,6 +529,13 @@ def run_pipeline(
         # simulated and the measured per-region breakdown
         machine = Machine(p=team.p)
 
+    # Attach the machine's telemetry to the team for the duration of the
+    # run so worker spans (and shm events) land under the stage spans.
+    attached_telemetry = False
+    if real_backend and not isinstance(machine, NullMachine) and team.telemetry is None:
+        team.telemetry = machine.telemetry
+        attached_telemetry = True
+
     ctx = PipelineContext(g, machine, knobs)
     ctx.team = team
     try:
@@ -546,6 +553,8 @@ def run_pipeline(
                     with machine.region(region):
                         strat.fn(ctx)
     finally:
+        if attached_telemetry:
+            team.telemetry = None
         if owned_team:
             team.close()
     return BCCResult(g, ctx.labels, name, _maybe_report(machine), backend_name)

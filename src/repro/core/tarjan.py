@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, NullMachine, Ops, resolve_machine
 from .result import BCCResult
 
 __all__ = ["tarjan_bcc"]
@@ -25,7 +25,7 @@ __all__ = ["tarjan_bcc"]
 
 def tarjan_bcc(g: Graph, machine: Machine | None = None) -> BCCResult:
     """Biconnected components by sequential DFS (the paper's baseline)."""
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     n, m = g.n, g.m
     labels = np.full(m, -1, dtype=np.int64)
     if m == 0:

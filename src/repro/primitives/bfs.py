@@ -21,7 +21,7 @@ import numpy as np
 
 from ..graph import CSRGraph, Graph
 from ..runtime.context import current_team
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = ["BFSResult", "bfs", "bfs_forest"]
 
@@ -106,7 +106,7 @@ def bfs_forest(
         return kernels.bfs_forest(
             g, roots, team=team, machine=machine, csr=csr, cover_all=cover_all
         )
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     n = g.n
     parent = np.full(n, -1, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 from .prefix_sum import prefix_sum
 
 __all__ = ["pack", "pack_indices"]
@@ -21,7 +21,7 @@ def pack_indices(mask: np.ndarray, machine: Machine | None = None) -> np.ndarray
     A prefix sum over the 0/1 mask gives every surviving element its output
     slot; a scatter then writes the indices.  Work O(n), all contiguous.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     mask = np.asarray(mask, dtype=bool)
     n = mask.size
     if n == 0:
@@ -41,7 +41,7 @@ def pack(values: np.ndarray, mask: np.ndarray, machine: Machine | None = None) -
     ``values`` may be 1-D or 2-D (rows selected); the mask is over the first
     axis.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     values = np.asarray(values)
     idx = pack_indices(mask, machine=machine)
     machine.parallel(idx.size, Ops(contig=1, random=1))

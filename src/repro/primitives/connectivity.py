@@ -26,7 +26,7 @@ import numpy as np
 
 from ..graph import Graph
 from ..runtime.context import current_team
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = [
     "ConnectivityResult",
@@ -114,7 +114,7 @@ def shiloach_vishkin(
             from ..runtime import kernels
 
             return kernels.shiloach_vishkin(n, u, v, team=team, machine=machine)
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     u = np.asarray(u, dtype=np.int64)
     v = np.asarray(v, dtype=np.int64)
     m = u.size
@@ -218,7 +218,7 @@ def hirschberg_chandra_sarwate(
     :func:`shiloach_vishkin` (labels are component minima; graft-winning
     edges form a spanning forest).
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     u = np.asarray(u, dtype=np.int64)
     v = np.asarray(v, dtype=np.int64)
     m = u.size

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 from .prefix_sum import segmented_prefix_scan
 from .sorting import sample_argsort
 
@@ -105,7 +105,7 @@ def euler_tour_numbering(
         Machine-region names for (tour construction, ranking + numbering) —
         the paper's Fig. 4 step names.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     tu = np.asarray(tu, dtype=np.int64)
     tv = np.asarray(tv, dtype=np.int64)
     k = tu.size

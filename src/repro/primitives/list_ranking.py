@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = ["wyllie_rank", "helman_jaja_rank", "list_rank", "distance_to_tail"]
 
@@ -37,7 +37,7 @@ def distance_to_tail(succ: np.ndarray, machine: Machine | None = None) -> np.nda
     work for maximum list length L; log L pointer-jumping rounds of pure
     random access.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     succ = np.asarray(succ, dtype=np.int64)
     n = succ.size
     if n == 0:
@@ -65,7 +65,7 @@ def wyllie_rank(succ: np.ndarray, head: int, machine: Machine | None = None) -> 
     Nodes not on the list get arbitrary values; callers that operate on one
     list of all n nodes (the Euler tour) use every entry.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     dist = distance_to_tail(succ, machine=machine)
     ranks = dist[head] - dist
     machine.parallel(dist.size, Ops(contig=2, alu=1))
@@ -88,7 +88,7 @@ def helman_jaja_rank(
     parallel); the splitter chain is then ranked sequentially and local
     offsets are rebased.  Expected O(n) work, ~n/p + s sequential span.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     succ = np.asarray(succ, dtype=np.int64)
     n = succ.size
     ranks = np.full(n, -1, dtype=np.int64)

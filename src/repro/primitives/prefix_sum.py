@@ -23,7 +23,7 @@ from typing import Callable
 import numpy as np
 
 from ..runtime.context import current_team
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = ["prefix_sum", "exclusive_prefix_sum", "prefix_scan", "segmented_prefix_scan"]
 
@@ -61,7 +61,7 @@ def prefix_scan(
     (:func:`repro.runtime.kernels.prefix_scan`) with identical machine
     charges and — for integer dtypes — bit-identical output.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     if op not in _SCAN_OPS:
         raise ValueError(f"unsupported scan op {op!r}; choose from {sorted(_SCAN_OPS)}")
     cum_fn, red_fn, _ = _SCAN_OPS[op]
@@ -134,7 +134,7 @@ def segmented_prefix_scan(
     block-parallel.  Charged as two scans (the standard segmented-scan work
     bound).
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     x = np.asarray(x)
     n = x.size
     flags = np.asarray(segment_starts, dtype=bool)

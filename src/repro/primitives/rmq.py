@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = ["SparseTable", "range_min", "range_max"]
 
@@ -24,7 +24,7 @@ class SparseTable:
     __slots__ = ("ufunc", "levels", "n")
 
     def __init__(self, values: np.ndarray, op: str = "min", machine: Machine | None = None):
-        machine = machine or NullMachine()
+        machine = resolve_machine(machine)
         values = np.asarray(values)
         if values.ndim != 1:
             raise ValueError("SparseTable expects a 1-D array")
@@ -53,7 +53,7 @@ class SparseTable:
 
         Empty ranges are rejected (callers guarantee size >= 1).
         """
-        machine = machine or NullMachine()
+        machine = resolve_machine(machine)
         lo = np.asarray(lo, dtype=np.int64)
         hi = np.asarray(hi, dtype=np.int64)
         if lo.shape != hi.shape:

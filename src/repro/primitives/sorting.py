@@ -23,7 +23,7 @@ import math
 
 import numpy as np
 
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = ["sample_sort", "sample_argsort"]
 
@@ -43,7 +43,7 @@ def sample_argsort(
     Equivalent to ``np.argsort(keys, kind='stable')`` but executed (and
     charged) as a Helman–JáJá sample sort across ``machine.p`` processors.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     keys = np.asarray(keys)
     n = keys.size
     if n == 0:
@@ -125,7 +125,7 @@ def sample_sort(
     oversample: int = 8,
 ) -> np.ndarray:
     """Sorted copy of ``keys`` via :func:`sample_argsort`."""
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     keys = np.asarray(keys)
     order = sample_argsort(keys, machine=machine, oversample=oversample)
     machine.parallel(keys.size, Ops(contig=1, random=1))

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 from .bfs import BFSResult, bfs_forest
 from .connectivity import hirschberg_chandra_sarwate, shiloach_vishkin
 
@@ -88,7 +88,7 @@ def traversal_spanning_tree(
     first) so the Root-tree step of TV is free; this is the paper's
     merged Spanning-tree/Root-tree optimization.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     roots = np.array([root], dtype=np.int64) if g.n else None
     return bfs_forest(g, roots=roots, machine=machine, cover_all=True)
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 from .euler_tour import TreeNumbering
 from .prefix_sum import exclusive_prefix_sum
 from .sorting import sample_argsort
@@ -70,7 +70,7 @@ def subtree_sizes(
     O(n) total work across ``max(level)`` rounds; each round is a
     scatter-add into the parents of one level (irregular traffic).
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     parent = np.asarray(parent, dtype=np.int64)
     n = parent.size
     size = np.ones(n, dtype=np.int64)
@@ -127,7 +127,7 @@ def dfs_preorder(
     doubling (log-depth rounds).  Components occupy disjoint ranges ordered
     by root id.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     parent = np.asarray(parent, dtype=np.int64)
     n = parent.size
     if n == 0:
@@ -171,7 +171,7 @@ def dfs_euler_tour_positions(
     Roots get (-1, -1).  This materializes the DFS-ordered Euler tour the
     TV-opt construction produces.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     n = numbering.parent.size
     idx = np.arange(n, dtype=np.int64)
     # root of each vertex by doubling
@@ -206,7 +206,7 @@ def numbering_from_parents(
     irregular doubling rounds (versus list ranking's O(log n) rounds over
     2n arcs).
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     parent = np.asarray(parent, dtype=np.int64)
     level = np.asarray(level, dtype=np.int64)
     n = parent.size
@@ -242,7 +242,7 @@ def subtree_max_sweep(
 
 
 def _subtree_sweep(values, parent, level, ufunc, machine, by_level) -> np.ndarray:
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     parent = np.asarray(parent, dtype=np.int64)
     out = np.asarray(values).copy()
     if out.size == 0:

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 
 __all__ = ["subtree_aggregate_contraction"]
 
@@ -63,7 +63,7 @@ def subtree_aggregate_contraction(
     of ``"min"``, ``"max"``, ``"sum"``.  O(n) work, O(log n) contraction
     rounds plus the symmetric expansion.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     if op not in _OPS:
         raise ValueError(f"unsupported op {op!r}; choose from {sorted(_OPS)}")
     ufunc, identity_of = _OPS[op]

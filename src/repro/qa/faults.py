@@ -109,9 +109,32 @@ class FaultyTeam(Team):
     def parallel_for(self, n, body, *args) -> None:
         call_index = self.calls
         self.calls += 1
+        tel = self.telemetry
+        if tel is not None:
+            # the plan is a pure function of (call, rank), so the parent
+            # can announce each injection before dispatch — fuzz repros
+            # carry the fault right in their timeline
+            for rank in range(self.p):
+                if self.plan.fires(call_index, rank):
+                    tel.event(
+                        "fault.injected",
+                        mode=self.plan.mode,
+                        call=call_index,
+                        rank=rank,
+                        body=getattr(body, "__name__", "body"),
+                    )
         self.inner.parallel_for(n, _faulty_body, self.plan, call_index, body, *args)
 
     # -- delegation ----------------------------------------------------- #
+
+    @property
+    def telemetry(self):
+        return self.inner.telemetry
+
+    @telemetry.setter
+    def telemetry(self, value):
+        # attach to the inner team too, so its worker spans are emitted
+        self.inner.telemetry = value
 
     def block(self, rank, n):
         return self.inner.block(rank, n)

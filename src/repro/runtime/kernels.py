@@ -41,7 +41,7 @@ import numpy as np
 from ..graph import CSRGraph, Graph
 from ..primitives.bfs import BFSResult
 from ..primitives.connectivity import ConnectivityResult
-from ..smp import Machine, NullMachine, Ops
+from ..smp import Machine, Ops, resolve_machine
 from .team import Team
 
 __all__ = ["prefix_scan", "shiloach_vishkin", "bfs_forest"]
@@ -99,7 +99,7 @@ def prefix_scan(
     """
     if op not in _SCAN_FNS:
         raise ValueError(f"unsupported scan op {op!r}; choose from {sorted(_SCAN_FNS)}")
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     x = np.asarray(x)
     n = x.size
     if n == 0:
@@ -185,7 +185,7 @@ def shiloach_vishkin(
     count — is bit-identical to
     ``repro.primitives.shiloach_vishkin(mode="engineered")``.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     u = np.asarray(u, dtype=np.int64)
     v = np.asarray(v, dtype=np.int64)
     m = u.size
@@ -302,7 +302,7 @@ def bfs_forest(
     (``np.unique`` on targets), so ``parent``/``level``/``parent_edge``
     are bit-identical to :func:`repro.primitives.bfs_forest`.
     """
-    machine = machine or NullMachine()
+    machine = resolve_machine(machine)
     n = g.n
     parent_out = np.full(n, -1, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)

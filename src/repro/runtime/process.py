@@ -9,9 +9,17 @@ array data.
 
 Wire protocol (one duplex :func:`multiprocessing.Pipe` per worker)::
 
-    ("run", fn, n, args)   -> ("ok", None) | ("err", exc)
+    ("run", fn, n, args)   -> ("ok", span | None) | ("err", exc)
     ("release", [names])   -> ("ok", None)     # drop cached attachments
     ("close",)             -> worker exits
+
+A successful run's ``span`` is ``(t0_ns, t1_ns, fn_name)`` — the worker's
+measured execution interval (``perf_counter_ns``, monotonic and
+host-wide on Linux, so parent and worker timestamps share a timeline) —
+or ``None`` when the worker's block was empty.  The parent forwards
+spans to its attached :class:`repro.obs.Telemetry`, which is how
+``--trace`` gets a per-worker timeline out of forked processes without
+any extra plumbing: the spans ride the existing result pipes.
 
 ``fn`` must be a module-level function (picklable by reference); array
 arguments are passed as :class:`_ShmRef` name markers that each worker
@@ -41,6 +49,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 from multiprocessing import resource_tracker, shared_memory
 from typing import Callable, Dict, Tuple
 
@@ -118,9 +127,12 @@ def _worker_main(rank: int, p: int, conn) -> None:
                     _attach(a, cache) if isinstance(a, _ShmRef) else a for a in args
                 )
                 lo, hi = block_range(rank, n, p)
+                span = None
                 if lo < hi:
+                    t0 = time.perf_counter_ns()
                     fn(rank, lo, hi, *resolved)
-                conn.send(("ok", None))
+                    span = (t0, time.perf_counter_ns(), getattr(fn, "__name__", "body"))
+                conn.send(("ok", span))
             except BaseException as exc:  # noqa: BLE001 - shipped to parent
                 try:
                     conn.send(("err", exc))
@@ -192,6 +204,8 @@ class ProcessTeam(Team):
         arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
         self._segments[seg.name] = (seg, arr)
         self._by_id[id(arr)] = seg.name
+        if self.telemetry is not None:
+            self.telemetry.event("shm.alloc", segment=seg.name, bytes=nbytes)
         return arr
 
     def share(self, arr: np.ndarray) -> np.ndarray:
@@ -223,6 +237,8 @@ class ProcessTeam(Team):
                 names.append(name)
         if not names:
             return
+        if self.telemetry is not None:
+            self.telemetry.event("shm.release", count=len(names))
         try:
             if not self._shutdown:
                 sent = self._broadcast(("release", names))
@@ -311,6 +327,9 @@ class ProcessTeam(Team):
             status, payload = resp
             if status == "err":
                 errors.append(payload)
+            elif payload is not None and self.telemetry is not None:
+                t0, t1, fn_name = payload
+                self.telemetry.worker_span(rank, fn_name, t0, t1)
         for rank in dead:
             self._respawn(rank)
         raise_aggregate(errors)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import builtins
 import os
+import time
 from typing import Callable, Dict, Tuple
 
 import numpy as np
@@ -107,6 +108,13 @@ class Team:
     p: int = 1
     grain: int = 1
 
+    #: Optional :class:`repro.obs.Telemetry` the team reports to.  When
+    #: set (the pipeline attaches the machine's telemetry on real
+    #: backends), each ``parallel_for`` emits one worker span per rank
+    #: that executed a non-empty block, attributed under the span that
+    #: dispatched the loop.
+    telemetry = None
+
     # -- execution ----------------------------------------------------- #
 
     def parallel_for(self, n: int, body: Callable, *args) -> None:
@@ -164,15 +172,24 @@ class SerialTeam(Team):
         self.grain = _default_grain(0) if grain is None else grain
 
     def parallel_for(self, n: int, body: Callable, *args) -> None:
+        tel = self.telemetry
         errors: list = []
         for rank in range(self.p):
             lo, hi = self.block(rank, n)
             if lo >= hi:
                 continue
+            t0 = time.perf_counter_ns() if tel is not None else 0
             try:
                 body(rank, lo, hi, *args)
             except BaseException as exc:  # noqa: BLE001 - aggregated below
                 errors.append(exc)
+            if tel is not None:
+                tel.worker_span(
+                    rank,
+                    getattr(body, "__name__", "body"),
+                    t0,
+                    time.perf_counter_ns(),
+                )
         raise_aggregate(errors)
 
     def close(self) -> None:

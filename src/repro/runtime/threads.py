@@ -15,6 +15,7 @@ release the GIL, so large-block kernels can still overlap.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
 
 from .team import Team, _default_grain, raise_aggregate
@@ -51,6 +52,8 @@ class ThreadTeam(Team):
         self._n = 0
         self._args: tuple = ()
         self._errors: list[BaseException] = []
+        # per-rank (t0_ns, t1_ns) of the last job, for worker-span telemetry
+        self._spans: list = [None] * p
         self._shutdown = False
         self._lock = threading.Lock()
         self._workers = [
@@ -71,7 +74,14 @@ class ThreadTeam(Team):
             lo, hi = self.block(rank, n)
             try:
                 if job is not None and lo < hi:
-                    job(rank, lo, hi, *args)
+                    if self.telemetry is not None:
+                        t0 = time.perf_counter_ns()
+                        try:
+                            job(rank, lo, hi, *args)
+                        finally:
+                            self._spans[rank] = (t0, time.perf_counter_ns())
+                    else:
+                        job(rank, lo, hi, *args)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 with self._lock:
                     self._errors.append(exc)
@@ -82,11 +92,19 @@ class ThreadTeam(Team):
         """Run ``body(rank, lo, hi, *args)`` on every worker over range(n)."""
         if self._shutdown:
             raise RuntimeError("team already shut down")
+        tel = self.telemetry
         self._job, self._n, self._args = body, n, args
         self._errors.clear()
+        if tel is not None:
+            self._spans = [None] * self.p
         self._start.wait()   # release the workers
         self._done.wait()    # software barrier: wait for all to finish
         self._job, self._args = None, ()
+        if tel is not None:
+            name = getattr(body, "__name__", "body")
+            for rank, interval in enumerate(self._spans):
+                if interval is not None:
+                    tel.worker_span(rank, name, interval[0], interval[1])
         if self._errors:
             errors, self._errors = list(self._errors), []
             raise_aggregate(errors)

@@ -15,7 +15,6 @@ ground-truth harness (and the CI workload smoke job).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +23,7 @@ from ..core.blockcut import block_cut_tree
 from ..core.result import BCCResult
 from ..core.tarjan import tarjan_bcc
 from ..graph import Graph
+from ..obs import Telemetry, WallClockSink
 from ..smp import Machine
 from .engine import ServiceEngine
 from .store import graph_fingerprint
@@ -157,18 +157,28 @@ def run_workload(
 
     oracle = _RecomputeOracle() if verify else None
     mismatches = 0
-    latencies: dict[str, list[int]] = {}
-    t_start = time.perf_counter()
-    for op in workload.ops:
-        kind = op["op"]
-        t0 = time.perf_counter_ns()
-        answer = engine.apply(name, op)
-        latencies.setdefault(kind, []).append(time.perf_counter_ns() - t0)
-        if oracle is not None and kind in QUERY_OP_NAMES:
-            expected = oracle.answer(engine.graph(name), op)
-            if answer != expected:
-                mismatches += 1
-    wall = time.perf_counter() - t_start
+    # Request latencies are spans on a driver-private telemetry: one span
+    # per op, keyed by op type, with every individual duration kept for
+    # percentiles.  Deliberately *not* the engine/machine telemetry —
+    # request spans are a wall-clock measurement frame, not a simulated
+    # cost region, and must not re-root the Service-* attribution.
+    req_sink = WallClockSink(record_each=True)
+    req_tel = Telemetry(sinks=[req_sink])
+    with req_tel.span("workload"):
+        for op in workload.ops:
+            kind = op["op"]
+            with req_tel.span(kind):
+                answer = engine.apply(name, op)
+            if oracle is not None and kind in QUERY_OP_NAMES:
+                expected = oracle.answer(engine.graph(name), op)
+                if answer != expected:
+                    mismatches += 1
+    wall = req_sink.seconds["workload"]
+    latencies = {
+        path.split(".", 1)[1]: ns
+        for path, ns in (req_sink.durations_ns or {}).items()
+        if path.startswith("workload.")
+    }
 
     st = engine.stats
     latency_us = {k: _percentiles(v) for k, v in sorted(latencies.items())}

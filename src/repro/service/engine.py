@@ -19,16 +19,23 @@ All work is optionally charged to a simulated :class:`repro.smp.Machine`
 under three regions — ``Service-build``, ``Service-extend``,
 ``Service-query`` — so a workload's simulated cost decomposes exactly like
 the paper's Fig. 4 step breakdowns.
+
+The engine reports through a :class:`repro.obs.Telemetry`: every cache
+hit/miss, rebuild, incremental extension, update, and query is emitted as
+an instant event, and build/extend/query work runs inside spans.  The
+public :attr:`ServiceEngine.stats` view (:class:`EngineStats`) is
+assembled on demand from the engine's :class:`~repro.obs.CounterSink` —
+the bespoke counter path is gone, but the fields are unchanged.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..graph import Graph
-from ..smp import Machine, Ops
+from ..obs import CounterSink, Telemetry
+from ..smp import Machine, NullMachine, Ops
 from . import updates as upd
 from .index import BCCIndex
 from .store import GraphStore
@@ -107,6 +114,7 @@ class ServiceEngine:
         algorithm: str = "tv-filter",
         cache_size: int = 8,
         machine: Machine | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
@@ -114,7 +122,15 @@ class ServiceEngine:
         self.algorithm = algorithm
         self.cache_size = int(cache_size)
         self.machine = machine
-        self.stats = EngineStats()
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif machine is not None and not isinstance(machine, NullMachine):
+            # share the machine's span tree so service events and spans
+            # interleave with the simulated per-region attribution
+            self.telemetry = machine.telemetry
+        else:
+            self.telemetry = Telemetry()
+        self._counters = self.telemetry.add_sink(CounterSink())
         self._cache: OrderedDict[str, BCCIndex] = OrderedDict()
         self._pending: dict[str, tuple[str, list[_Delta]]] = {}
 
@@ -137,7 +153,9 @@ class ServiceEngine:
     # ------------------------------------------------------------------ #
 
     def _region(self, label: str):
-        return self.machine.region(label) if self.machine is not None else nullcontext()
+        if self.machine is not None:
+            return self.machine.region(label)
+        return self.telemetry.span(label)
 
     def index_for(self, name: str) -> BCCIndex:
         """The current index for ``name``: cached, replayed, or rebuilt."""
@@ -146,15 +164,15 @@ class ServiceEngine:
         if idx is not None:
             self._cache.move_to_end(entry.fingerprint)
             self._pending.pop(name, None)
-            self.stats.cache_hits += 1
+            self.telemetry.event("cache.hit")
             return idx
-        self.stats.cache_misses += 1
+        self.telemetry.event("cache.miss")
         idx = self._resolve(name, entry)
         self._cache[idx.fingerprint] = idx
         self._cache.move_to_end(idx.fingerprint)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
-            self.stats.evictions += 1
+            self.telemetry.event("cache.evict")
         return idx
 
     def _resolve(self, name: str, entry) -> BCCIndex:
@@ -165,9 +183,9 @@ class ServiceEngine:
             if base is not None:
                 replayed = self._replay(base, deltas)
                 if replayed is not None:
-                    self.stats.incremental_extensions += len(deltas)
+                    self.telemetry.event("index.incremental", count=len(deltas))
                     return replayed
-        self.stats.rebuilds += 1
+        self.telemetry.event("index.rebuild")
         with self._region("Service-build"):
             return BCCIndex.build(
                 entry.graph,
@@ -208,9 +226,9 @@ class ServiceEngine:
         """Add a batch of edges to ``name``; returns the effective count."""
         entry = self.store.entry(name)
         ng, au, av = upd.apply_add_edges(entry.graph, pairs)
-        self.stats.updates += 1
+        self.telemetry.event("update")
         if au.size == 0:
-            self.stats.noop_updates += 1
+            self.telemetry.event("update.noop")
             return 0
         new_entry = self.store.replace(name, ng)
         self._record(name, entry.fingerprint,
@@ -221,9 +239,9 @@ class ServiceEngine:
         """Remove a batch of edges from ``name``; returns the effective count."""
         entry = self.store.entry(name)
         ng, removed = upd.apply_remove_edges(entry.graph, pairs)
-        self.stats.updates += 1
+        self.telemetry.event("update")
         if removed.size == 0:
-            self.stats.noop_updates += 1
+            self.telemetry.event("update.noop")
             return 0
         new_entry = self.store.replace(name, ng)
         self._record(name, entry.fingerprint,
@@ -243,8 +261,7 @@ class ServiceEngine:
             if self.machine is not None:
                 self.machine.sequential(1, QUERY_OPS[op])
         answer = getattr(idx, op)(**params)
-        self.stats.queries += 1
-        self.stats.per_op[op] = self.stats.per_op.get(op, 0) + 1
+        self.telemetry.event("query", op=op)
         return answer
 
     def apply(self, name: str, op: dict):
@@ -264,8 +281,24 @@ class ServiceEngine:
             return self.remove_edges(name, op["edges"])
         raise ValueError(f"unknown workload op {kind!r}")
 
+    @property
+    def stats(self) -> EngineStats:
+        """Lifetime counters, assembled from the engine's counter sink."""
+        c = self._counters
+        return EngineStats(
+            queries=c["query"],
+            updates=c["update"],
+            noop_updates=c["update.noop"],
+            cache_hits=c["cache.hit"],
+            cache_misses=c["cache.miss"],
+            rebuilds=c["index.rebuild"],
+            incremental_extensions=c["index.incremental"],
+            evictions=c["cache.evict"],
+            per_op=c.prefixed("query"),
+        )
+
     def reset_stats(self) -> None:
-        self.stats = EngineStats()
+        self._counters.reset()
 
     def __repr__(self) -> str:
         return (

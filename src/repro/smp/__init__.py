@@ -8,9 +8,15 @@ rationale).
 
 from .cost_model import FLAT_UNIT_COSTS, SUN_E4500, CostTable, Ops
 from .counters import Counters
-from .machine import Machine, MachineReport, NullMachine
+from .machine import (
+    NULL_MACHINE,
+    Machine,
+    MachineReport,
+    NullMachine,
+    resolve_machine,
+)
 from .presets import PAPER_PROCESSOR_GRID, e4500, flat_machine, sequential_machine
-from .trace import TraceEvent, TraceMachine, evaluate_trace
+from .trace import TraceEvent, TraceMachine, TraceSink, evaluate_trace
 
 __all__ = [
     "Ops",
@@ -21,8 +27,11 @@ __all__ = [
     "Machine",
     "MachineReport",
     "NullMachine",
+    "NULL_MACHINE",
+    "resolve_machine",
     "TraceMachine",
     "TraceEvent",
+    "TraceSink",
     "evaluate_trace",
     "e4500",
     "flat_machine",

@@ -12,21 +12,38 @@ A :class:`Machine` models a ``p``-processor shared-memory machine with a
 * :meth:`Machine.region` — a named, nestable step used for per-step
   breakdowns (Fig. 4 of the paper).
 
+The machine computes each charge with its historical arithmetic and hands
+the result to a :class:`~repro.obs.Telemetry` span tree: a
+:class:`~repro.obs.SimulatedCostSink` keeps the cost-model attribution
+(totals + per-region counters, bit-identical to the pre-telemetry
+accounting) and a :class:`~repro.obs.WallClockSink` measures each region's
+wall-clock span.  Extra sinks — a Chrome-trace timeline, a replayable
+charge trace — attach to ``machine.telemetry`` without touching the
+pricing path.
+
 A :class:`NullMachine` implements the same interface with zero overhead so
-library code can be written unconditionally instrumented.
+library code can be written unconditionally instrumented; use the shared
+:data:`NULL_MACHINE` singleton via :func:`resolve_machine` rather than
+allocating one per call.
 """
 
 from __future__ import annotations
 
 import math
-import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from ..obs import SimulatedCostSink, Telemetry, WallClockSink
 from .cost_model import SUN_E4500, CostTable, Ops
 from .counters import Counters
 
-__all__ = ["Machine", "NullMachine", "MachineReport"]
+__all__ = [
+    "Machine",
+    "NullMachine",
+    "NULL_MACHINE",
+    "resolve_machine",
+    "MachineReport",
+]
 
 
 class MachineReport:
@@ -98,19 +115,43 @@ class MachineReport:
 
 
 class Machine:
-    """Simulated ``p``-processor SMP with an explicit cost model."""
+    """Simulated ``p``-processor SMP: pricing facade over a telemetry tree.
 
-    __slots__ = ("p", "costs", "totals", "_regions", "_stack", "_wall")
+    The machine owns the charge *arithmetic*; storage and attribution live
+    in the sinks of ``self.telemetry`` (a :class:`SimulatedCostSink` and a
+    :class:`WallClockSink` are attached on construction unless a
+    pre-wired :class:`Telemetry` is supplied).
+    """
 
-    def __init__(self, p: int = 1, costs: CostTable = SUN_E4500):
+    __slots__ = ("p", "costs", "telemetry", "_sim", "_wallclock")
+
+    def __init__(
+        self,
+        p: int = 1,
+        costs: CostTable = SUN_E4500,
+        telemetry: Telemetry | None = None,
+    ):
         if p < 1:
             raise ValueError(f"processor count must be >= 1, got {p}")
         self.p = int(p)
         self.costs = costs
-        self.totals = Counters()
-        self._regions: dict[str, Counters] = {}
-        self._stack: list[str] = []
-        self._wall: dict[str, float] = {}
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        sim = next(
+            (s for s in self.telemetry.sinks if isinstance(s, SimulatedCostSink)),
+            None,
+        )
+        self._sim = sim if sim is not None else self.telemetry.add_sink(SimulatedCostSink())
+        wall = next(
+            (
+                s
+                for s in self.telemetry.sinks
+                if isinstance(s, WallClockSink) and s.durations_ns is None
+            ),
+            None,
+        )
+        self._wallclock = (
+            wall if wall is not None else self.telemetry.add_sink(WallClockSink())
+        )
 
     # ------------------------------------------------------------------ #
     # charging primitives
@@ -129,6 +170,10 @@ class Machine:
         chunk = math.ceil(n_items / self.p)
         round_ns = chunk * per_item + self.costs.barrier_ns(self.p)
         self._charge(
+            "parallel",
+            n_items=float(n_items),
+            raw_ops=ops,
+            rounds=rounds,
             time_ns=round_ns * rounds,
             ops=ops.scaled(n_items * rounds),
             parallel_rounds=rounds,
@@ -142,6 +187,9 @@ class Machine:
             return
         per_item = self.costs.op_cost_ns(ops)
         self._charge(
+            "sequential",
+            n_items=float(n_items),
+            raw_ops=ops,
             time_ns=n_items * per_item,
             ops=ops.scaled(n_items),
             seq_sections=1,
@@ -149,17 +197,26 @@ class Machine:
         )
 
     def spawn(self) -> None:
-        """Charge one parallel-region startup (thread wakeup/distribution)."""
-        if self.p > 1:
-            self._charge(time_ns=self.costs.spawn_ns)
+        """Charge one parallel-region startup (thread wakeup/distribution).
+
+        At ``p == 1`` no time is charged, but the (zero-delta) event is
+        still dispatched so trace sinks see every spawn point.
+        """
+        self._charge(
+            "spawn", time_ns=self.costs.spawn_ns if self.p > 1 else 0.0
+        )
 
     def barrier(self) -> None:
         """Charge one extra software barrier (no associated work)."""
-        self._charge(time_ns=self.costs.barrier_ns(self.p), barriers=1)
+        self._charge("barrier", time_ns=self.costs.barrier_ns(self.p), barriers=1)
 
     def _charge(
         self,
+        kind: str,
         *,
+        n_items: float = 0.0,
+        raw_ops: Ops | None = None,
+        rounds: int = 1,
         time_ns: float = 0.0,
         ops: Ops | None = None,
         parallel_rounds: int = 0,
@@ -177,78 +234,75 @@ class Machine:
             seq_sections=seq_sections,
             span_items=span_items,
         )
-        self.totals.add(delta)
-        for path in self._stack:
-            self._regions[path].add(delta)
+        self.telemetry.charge(kind, delta, n_items=n_items, ops=raw_ops, rounds=rounds)
 
     # ------------------------------------------------------------------ #
     # regions
     # ------------------------------------------------------------------ #
 
-    @contextmanager
-    def region(self, name: str) -> Iterator[None]:
+    def region(self, name: str):
         """Attribute all charges inside the block to the named step.
 
-        Regions nest; a nested region is recorded both under its own dotted
-        path (``outer.inner``) and as part of the enclosing region's totals.
-        Re-entering a region name accumulates into the same counters.
+        Regions are telemetry spans: they nest with dotted paths
+        (``outer.inner``), a nested region is recorded both under its own
+        path and as part of the enclosing region's totals, and re-entering
+        a region name accumulates into the same counters.
 
         Alongside the simulated charges, each region's *wall-clock* span is
         measured and accumulated under the same dotted path (a parent's
         span naturally covers its children), so one instrumented run
         yields both the simulated and the measured per-step breakdown.
         """
-        path = f"{self._stack[-1]}.{name}" if self._stack else name
-        if path not in self._regions:
-            self._regions[path] = Counters()
-        self._stack.append(path)
-        t0 = time.perf_counter_ns()
-        try:
-            yield
-        finally:
-            self._wall[path] = (
-                self._wall.get(path, 0.0) + (time.perf_counter_ns() - t0) * 1e-9
-            )
-            popped = self._stack.pop()
-            assert popped == path
+        return self.telemetry.span(name)
 
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
 
     @property
+    def totals(self) -> Counters:
+        """Accumulated machine-wide counters (live view)."""
+        return self._sim.totals
+
+    @property
     def time_s(self) -> float:
-        return self.totals.time_s
+        return self._sim.totals.time_s
 
     def report(self) -> MachineReport:
         return MachineReport(
             p=self.p,
             costs=self.costs,
-            totals=self.totals.snapshot(),
-            regions={k: v.snapshot() for k, v in self._regions.items()},
-            wall_regions=dict(self._wall),
+            totals=self._sim.totals.snapshot(),
+            regions={k: v.snapshot() for k, v in self._sim.regions.items()},
+            wall_regions=dict(self._wallclock.seconds),
         )
 
     def reset(self) -> None:
-        """Clear all accumulated accounting (processor count kept)."""
-        self.totals = Counters()
-        self._regions = {}
-        self._stack = []
-        self._wall = {}
+        """Clear all accumulated accounting (processor count kept).
 
-    def fork(self) -> "Machine":
-        """A fresh machine with the same configuration and empty counters."""
-        return Machine(p=self.p, costs=self.costs)
+        Resets every sink on ``self.telemetry``, including any extra
+        sinks (trace, timeline) attached after construction.
+        """
+        self.telemetry.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Machine(p={self.p}, costs={self.costs.name!r}, time={self.time_s:.6f}s)"
 
 
 class NullMachine(Machine):
-    """A machine that records nothing; used when instrumentation is off."""
+    """A machine that records nothing; used when instrumentation is off.
+
+    Every charge and region is a no-op that never touches the telemetry,
+    so the shared :data:`NULL_MACHINE` singleton is safe to use from any
+    thread.
+    """
 
     def __init__(self):
-        super().__init__(p=1)
+        self.p = 1
+        self.costs = SUN_E4500
+        self.telemetry = Telemetry()
+        self._sim = SimulatedCostSink()
+        self._wallclock = WallClockSink()
 
     def parallel(self, n_items, ops, *, rounds: int = 1) -> None:  # noqa: D102
         return
@@ -265,3 +319,12 @@ class NullMachine(Machine):
     @contextmanager
     def region(self, name: str) -> Iterator[None]:  # noqa: D102
         yield
+
+
+#: Shared do-nothing machine; prefer this over allocating ``NullMachine()``.
+NULL_MACHINE = NullMachine()
+
+
+def resolve_machine(machine: Machine | None) -> Machine:
+    """``machine`` if given, else the shared :data:`NULL_MACHINE`."""
+    return machine if machine is not None else NULL_MACHINE

@@ -21,11 +21,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..obs import ChargeEvent, Sink
 from .cost_model import CostTable, Ops
 from .counters import Counters
 from .machine import Machine, MachineReport
 
-__all__ = ["TraceEvent", "TraceMachine", "evaluate_trace"]
+__all__ = ["TraceEvent", "TraceSink", "TraceMachine", "evaluate_trace"]
 
 
 @dataclass(frozen=True)
@@ -41,41 +42,67 @@ class TraceEvent:
     rounds: int = 1
 
 
-class TraceMachine(Machine):
-    """A machine that charges normally *and* records a replayable trace."""
+class TraceSink(Sink):
+    """A telemetry sink that records charges as a replayable trace.
 
-    __slots__ = ("trace",)
+    Parallel charges are recorded only when they carry work
+    (``n_items > 0 and rounds > 0``), sequential ones when
+    ``n_items > 0``; spawn and barrier events are recorded always —
+    including at ``p == 1``, where they charge nothing — so the trace can
+    be re-priced for any processor count.
+    """
+
+    def __init__(self):
+        self.trace: list[TraceEvent] = []
+
+    def on_charge(self, charge: ChargeEvent) -> None:
+        kind = charge.kind
+        if kind == "parallel":
+            if charge.n_items > 0 and charge.rounds > 0:
+                self.trace.append(
+                    TraceEvent(
+                        kind,
+                        charge.path,
+                        float(charge.n_items),
+                        charge.ops if charge.ops is not None else Ops(),
+                        charge.rounds,
+                    )
+                )
+        elif kind == "sequential":
+            if charge.n_items > 0:
+                self.trace.append(
+                    TraceEvent(
+                        kind,
+                        charge.path,
+                        float(charge.n_items),
+                        charge.ops if charge.ops is not None else Ops(),
+                    )
+                )
+        else:  # spawn / barrier: always recorded
+            self.trace.append(TraceEvent(kind, charge.path))
+
+    def reset(self) -> None:
+        self.trace = []
+
+
+class TraceMachine(Machine):
+    """A machine that charges normally *and* records a replayable trace.
+
+    Implemented as a plain :class:`Machine` with a :class:`TraceSink`
+    attached to its telemetry.
+    """
+
+    __slots__ = ("_trace_sink",)
 
     def __init__(self, p: int = 12, costs=None):
         from .cost_model import SUN_E4500
 
         super().__init__(p=p, costs=costs or SUN_E4500)
-        self.trace: list[TraceEvent] = []
+        self._trace_sink: TraceSink = self.telemetry.add_sink(TraceSink())
 
-    def _path(self) -> str:
-        return self._stack[-1] if self._stack else ""
-
-    def parallel(self, n_items, ops, *, rounds: int = 1) -> None:
-        if n_items > 0 and rounds > 0:
-            self.trace.append(
-                TraceEvent("parallel", self._path(), float(n_items), ops, rounds)
-            )
-        super().parallel(n_items, ops, rounds=rounds)
-
-    def sequential(self, n_items, ops) -> None:
-        if n_items > 0:
-            self.trace.append(
-                TraceEvent("sequential", self._path(), float(n_items), ops)
-            )
-        super().sequential(n_items, ops)
-
-    def spawn(self) -> None:
-        self.trace.append(TraceEvent("spawn", self._path()))
-        super().spawn()
-
-    def barrier(self) -> None:
-        self.trace.append(TraceEvent("barrier", self._path()))
-        super().barrier()
+    @property
+    def trace(self) -> list[TraceEvent]:
+        return self._trace_sink.trace
 
 
 def _ancestor_paths(path: str) -> list[str]:

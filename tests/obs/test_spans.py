@@ -1,0 +1,231 @@
+"""Unit tests for the telemetry span/sink core (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ChargeEvent,
+    ChromeTraceSink,
+    CounterSink,
+    Sink,
+    SimulatedCostSink,
+    Telemetry,
+    WallClockSink,
+)
+from repro.smp import Counters
+
+
+class _Recorder(Sink):
+    def __init__(self):
+        self.calls = []
+
+    def on_span_start(self, path, t_ns, attrs):
+        self.calls.append(("start", path, dict(attrs)))
+
+    def on_span_end(self, path, t0_ns, t1_ns, attrs):
+        self.calls.append(("end", path, t0_ns, t1_ns))
+
+    def on_event(self, name, path, t_ns, attrs):
+        self.calls.append(("event", name, path, dict(attrs)))
+
+    def on_charge(self, charge):
+        self.calls.append(("charge", charge))
+
+    def on_worker_span(self, worker, name, path, t0_ns, t1_ns):
+        self.calls.append(("worker", worker, name, path))
+
+
+class TestTelemetry:
+    def test_nested_span_paths_dotted(self):
+        tel = Telemetry()
+        rec = tel.add_sink(_Recorder())
+        with tel.span("a"):
+            assert tel.path == "a"
+            with tel.span("b"):
+                assert tel.path == "a.b"
+                assert tel.stack == ("a", "a.b")
+        assert tel.path == ""
+        starts = [c[1] for c in rec.calls if c[0] == "start"]
+        assert starts == ["a", "a.b"]
+        ends = [c[1] for c in rec.calls if c[0] == "end"]
+        assert ends == ["a.b", "a"]  # inner closes first
+
+    def test_span_interval_ordering(self):
+        tel = Telemetry()
+        rec = tel.add_sink(_Recorder())
+        with tel.span("x"):
+            pass
+        _, _, t0, t1 = next(c for c in rec.calls if c[0] == "end")
+        assert t1 >= t0
+
+    def test_span_pops_on_exception(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("x"):
+                raise ValueError("boom")
+        assert tel.path == ""
+
+    def test_event_carries_current_path_and_attrs(self):
+        tel = Telemetry()
+        rec = tel.add_sink(_Recorder())
+        with tel.span("s"):
+            tel.event("cache.hit", op="same_bcc")
+        ev = next(c for c in rec.calls if c[0] == "event")
+        assert ev[1:] == ("cache.hit", "s", {"op": "same_bcc"})
+
+    def test_charge_carries_full_stack(self):
+        tel = Telemetry()
+        rec = tel.add_sink(_Recorder())
+        with tel.span("outer"):
+            with tel.span("inner"):
+                tel.charge("parallel", Counters(time_ns=3.0), n_items=5.0)
+        ch = next(c[1] for c in rec.calls if c[0] == "charge")
+        assert isinstance(ch, ChargeEvent)
+        assert ch.paths == ("outer", "outer.inner")
+        assert ch.path == "outer.inner"
+        assert ch.n_items == 5.0
+
+    def test_worker_span_nests_under_current_path(self):
+        tel = Telemetry()
+        rec = tel.add_sink(_Recorder())
+        with tel.span("stage"):
+            tel.worker_span(1, "kernel", 10, 20)
+        w = next(c for c in rec.calls if c[0] == "worker")
+        assert w == ("worker", 1, "kernel", "stage.kernel")
+
+    def test_remove_sink(self):
+        tel = Telemetry()
+        rec = tel.add_sink(_Recorder())
+        tel.remove_sink(rec)
+        with tel.span("x"):
+            pass
+        assert rec.calls == []
+
+
+class TestWallClockSink:
+    def test_accumulates_reentry(self):
+        sink = WallClockSink()
+        tel = Telemetry(sinks=[sink])
+        for _ in range(2):
+            with tel.span("r"):
+                pass
+        assert sink.seconds["r"] > 0.0
+        assert sink.durations_ns is None
+
+    def test_record_each_keeps_every_duration(self):
+        sink = WallClockSink(record_each=True)
+        tel = Telemetry(sinks=[sink])
+        for _ in range(3):
+            with tel.span("r"):
+                pass
+        assert len(sink.durations_ns["r"]) == 3
+
+    def test_total_is_top_level_only(self):
+        sink = WallClockSink()
+        tel = Telemetry(sinks=[sink])
+        with tel.span("a"):
+            with tel.span("b"):
+                pass
+        assert sink.total_s() == sink.seconds["a"]
+
+    def test_reset(self):
+        sink = WallClockSink(record_each=True)
+        tel = Telemetry(sinks=[sink])
+        with tel.span("r"):
+            pass
+        tel.reset()
+        assert sink.seconds == {} and sink.durations_ns == {}
+
+
+class TestCounterSink:
+    def test_event_counting_with_op_breakdown(self):
+        sink = CounterSink()
+        tel = Telemetry(sinks=[sink])
+        tel.event("query", op="same_bcc")
+        tel.event("query", op="same_bcc")
+        tel.event("query", op="is_bridge")
+        tel.event("cache.hit")
+        assert sink["query"] == 3
+        assert sink.prefixed("query") == {"same_bcc": 2, "is_bridge": 1}
+        assert sink["cache.hit"] == 1
+        assert sink["never"] == 0
+
+    def test_count_attribute(self):
+        sink = CounterSink()
+        tel = Telemetry(sinks=[sink])
+        tel.event("index.incremental", count=4)
+        assert sink["index.incremental"] == 4
+
+    def test_charges_feed_machine_counters(self):
+        sink = CounterSink()
+        tel = Telemetry(sinks=[sink])
+        tel.charge("parallel", Counters(time_ns=1.0, parallel_rounds=2, barriers=2))
+        tel.charge("barrier", Counters(time_ns=1.0, barriers=1))
+        assert sink["machine.parallel_rounds"] == 2
+        assert sink["machine.barriers"] == 3
+
+
+class TestSimulatedCostSink:
+    def test_region_created_on_entry_and_attribution(self):
+        sink = SimulatedCostSink()
+        tel = Telemetry(sinks=[sink])
+        with tel.span("empty"):
+            pass
+        with tel.span("a"):
+            tel.charge("sequential", Counters(time_ns=7.0))
+        assert sink.regions["empty"].time_ns == 0.0
+        assert sink.regions["a"].time_ns == 7.0
+        assert sink.totals.time_ns == 7.0
+
+
+class TestChromeTraceSink:
+    def _trace(self):
+        sink = ChromeTraceSink()
+        tel = Telemetry(sinks=[sink])
+        with tel.span("stage"):
+            tel.event("cache.miss")
+            tel.worker_span(0, "kern", *self._interval())
+            tel.worker_span(3, "kern", *self._interval())
+        return sink
+
+    @staticmethod
+    def _interval():
+        import time
+
+        t0 = time.perf_counter_ns()
+        return t0, t0 + 1000
+
+    def test_valid_json_roundtrip(self, tmp_path):
+        sink = self._trace()
+        out = tmp_path / "trace.json"
+        sink.write(str(out))
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["traceEvents"]
+
+    def test_monotonic_sorted_timestamps(self):
+        doc = self._trace().to_dict()
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+        assert all(t >= 0 for t in ts)
+
+    def test_worker_tids_distinct_from_main(self):
+        sink = self._trace()
+        doc = sink.to_dict()
+        worker_tids = {e["tid"] for e in doc["traceEvents"] if e.get("cat") == "worker"}
+        assert worker_tids == {1, 4}  # rank + 1
+        assert sink.MAIN_TID not in worker_tids
+        names = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert names == {"main", "worker-0", "worker-3"}
+        assert sink.worker_tracks() == (0, 3)
+
+    def test_instant_events_present(self):
+        doc = self._trace().to_dict()
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["cache.miss"]
+
+    def test_reset(self):
+        sink = self._trace()
+        sink.reset()
+        assert sink.events == [] and sink.worker_tracks() == ()

@@ -6,6 +6,7 @@ import pytest
 
 from repro.smp import (
     FLAT_UNIT_COSTS,
+    NULL_MACHINE,
     Counters,
     CostTable,
     Machine,
@@ -13,6 +14,7 @@ from repro.smp import (
     Ops,
     e4500,
     flat_machine,
+    resolve_machine,
     sequential_machine,
 )
 
@@ -166,14 +168,6 @@ class TestReportAndLifecycle:
         assert m.totals.time_ns == 0
         assert m.report().regions == {}
 
-    def test_fork_same_config_empty_counters(self):
-        m = e4500(6)
-        m.parallel(100, Ops(random=1))
-        f = m.fork()
-        assert f.p == 6
-        assert f.costs is m.costs
-        assert f.totals.time_ns == 0
-
     def test_as_dict_roundtrip_fields(self):
         m = flat(p=2)
         with m.region("r"):
@@ -186,6 +180,58 @@ class TestReportAndLifecycle:
     def test_invalid_processor_count(self):
         with pytest.raises(ValueError):
             Machine(p=0)
+
+
+class TestWallRegions:
+    def test_wall_measured_per_region(self):
+        m = flat()
+        with m.region("a"):
+            m.parallel(5, Ops(contig=1))
+        rep = m.report()
+        assert rep.wall_regions["a"] > 0.0
+        assert rep.wall_time_s == pytest.approx(rep.wall_regions["a"])
+
+    def test_nested_regions_keep_dotted_wall_paths(self):
+        m = flat()
+        with m.region("outer"):
+            with m.region("inner"):
+                m.parallel(1, Ops(contig=1))
+        rep = m.report()
+        assert set(rep.wall_regions) == {"outer", "outer.inner"}
+        # the parent's span covers the child's
+        assert rep.wall_regions["outer"] >= rep.wall_regions["outer.inner"]
+        # only top-level paths feed the wall total
+        assert set(rep.region_wall_s()) == {"outer"}
+
+    def test_reentry_accumulates_wall(self):
+        m = flat()
+        with m.region("x"):
+            pass
+        once = m.report().wall_regions["x"]
+        with m.region("x"):
+            pass
+        assert m.report().wall_regions["x"] > once
+
+    def test_reset_clears_wall(self):
+        m = flat()
+        with m.region("r"):
+            pass
+        m.reset()
+        rep = m.report()
+        assert rep.wall_regions == {}
+        assert rep.wall_time_s == 0.0
+
+    def test_as_dict_wall_roundtrip(self):
+        m = flat()
+        with m.region("r"):
+            m.parallel(3, Ops(contig=1))
+        d = m.report().as_dict()
+        assert d["wall"]["regions"]["r"] > 0.0
+        assert d["wall"]["time_s"] == pytest.approx(d["wall"]["regions"]["r"])
+        # a pure simulation (no regions entered) reports no wall section
+        m2 = flat()
+        m2.parallel(3, Ops(contig=1))
+        assert "wall" not in m2.report().as_dict()
 
 
 class TestCounters:
@@ -213,6 +259,18 @@ class TestNullMachine:
             m.parallel(5, Ops(contig=1))
         assert m.totals.time_ns == 0
         assert m.report().regions == {}
+
+    def test_singleton_resolution(self):
+        assert resolve_machine(None) is NULL_MACHINE
+        m = flat()
+        assert resolve_machine(m) is m
+        assert isinstance(NULL_MACHINE, NullMachine)
+
+    def test_singleton_region_leaves_no_trace(self):
+        with NULL_MACHINE.region("x"):
+            NULL_MACHINE.parallel(10, Ops(contig=1))
+        assert NULL_MACHINE.totals.time_ns == 0
+        assert NULL_MACHINE.telemetry.stack == ()
 
 
 class TestPresets:
