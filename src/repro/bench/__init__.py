@@ -18,6 +18,7 @@ from .runner import (
     run_filter_claims,
     run_pathological,
     run_service_bench,
+    run_service_batch_sweep,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "run_pathological",
     "run_dense",
     "run_service_bench",
+    "run_service_batch_sweep",
 ]

@@ -18,7 +18,9 @@ The abl-* experiments enumerate the stage/strategy registry
   pathological  §4: chain (d = O(n)) vs random (small d)
   dense         Woo–Sahni regime: 70%/90% of K_n
   service       query-service workload: throughput, latency percentiles,
-                cache behaviour (repro.service; see docs/service.md)
+                cache behaviour, plus a batch-size sweep of the vectorized
+                bulk query path (repro.service; see docs/service.md);
+                writes results/BENCH_service.json (v2)
   runtime       execution backends: kernel + end-to-end wall-clock across
                 serial/threads/processes at p in {1,2,4} (docs/runtime.md);
                 writes results/BENCH_runtime.json
@@ -157,7 +159,15 @@ def _dense(args):
 def _service(args):
     rep = runner.run_service_bench(n=args.n, seed=args.seed)
     _emit(report.format_service(rep), args)
-    return rep.as_dict()
+    sweep = runner.run_service_batch_sweep(n=args.n, seed=args.seed)
+    _emit(report.format_service_sweep(sweep), args)
+    result = {"version": 2, "workload": rep.as_dict(), "batch_sweep": sweep}
+    import os
+
+    if os.path.isdir("results"):
+        _save_json(result, "results/BENCH_service.json")
+        print("wrote results/BENCH_service.json")
+    return result
 
 
 @experiment("runtime")

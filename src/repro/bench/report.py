@@ -17,6 +17,7 @@ __all__ = [
     "format_filter_claims",
     "format_ablation",
     "format_service",
+    "format_service_sweep",
     "format_runtime",
     "ascii_bars",
 ]
@@ -177,6 +178,13 @@ def format_service(rep) -> str:
         f"query p50/p95/p99 = {rep.query_p50_us:.1f}/{rep.query_p95_us:.1f}/"
         f"{rep.query_p99_us:.1f} us"
     )
+    if rep.num_query_items > rep.num_queries:
+        lines.append(
+            f"batched: {rep.num_query_items:,} query items -> "
+            f"{rep.throughput_items_s:,.0f} items/s amortized; per-item "
+            f"p50/p95/p99 = {rep.query_item_p50_us:.2f}/"
+            f"{rep.query_item_p95_us:.2f}/{rep.query_item_p99_us:.2f} us"
+        )
     lines.append(
         f"index cache: {rep.cache_hits} hits / {rep.cache_misses} misses "
         f"(hit rate {rep.cache_hit_rate:.1%}); {rep.rebuilds} rebuilds, "
@@ -190,6 +198,30 @@ def format_service(rep) -> str:
         lines.append(f"verified against recompute-from-scratch: {rep.verified} "
                      f"({rep.mismatches} mismatches)")
     return "\n".join(lines)
+
+
+def format_service_sweep(sweep: dict) -> str:
+    """Batch-size sweep table from
+    :func:`repro.bench.runner.run_service_batch_sweep`: one row per batch
+    size with amortized per-item throughput and the speedup over the
+    batch=1 baseline (same seeded read-heavy item stream throughout)."""
+    headers = [
+        "batch", "ops", "items", "wall [s]", "ops/s", "items/s",
+        "item p50 [us]", "item p99 [us]", "speedup",
+    ]
+    body = [
+        [r["batch"], r["num_ops"], r["num_query_items"], r["wall_s"],
+         f"{r['ops_per_s']:,.0f}", f"{r['items_per_s']:,.0f}",
+         f"{r['query_item_p50_us']:.2f}", f"{r['query_item_p99_us']:.2f}",
+         f"{r['speedup_vs_batch1']:.1f}x"]
+        for r in sweep["rows"]
+    ]
+    title = (
+        f"Service batch sweep — n={sweep['graph_n']:,}, m={sweep['graph_m']:,}, "
+        f"{sweep['items']:,} read-heavy query items per point, "
+        f"algorithm={sweep['algorithm']} (amortized items/s vs batch size)"
+    )
+    return table(headers, body, title)
 
 
 def ascii_bars(

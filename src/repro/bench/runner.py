@@ -55,6 +55,8 @@ __all__ = [
     "run_pathological",
     "run_dense",
     "run_service_bench",
+    "run_service_batch_sweep",
+    "SERVICE_BATCH_SIZES",
     "run_runtime_bench",
 ]
 
@@ -491,6 +493,101 @@ def run_service_bench(
     machine = e4500(p) if p else None
     return run_workload(workload, algorithm=algorithm, machine=machine,
                         cache_size=cache_size)
+
+
+#: Read-heavy mix for the batch sweep: the four batchable point queries,
+#: no updates — the regime ROADMAP calls "the single biggest ops/s lever".
+READ_HEAVY_MIX = {
+    "same_bcc": 0.40,
+    "is_articulation": 0.18,
+    "is_bridge": 0.18,
+    "component_of_edge": 0.24,
+}
+
+#: Batch sizes the service bench sweeps (batch=1 is the point-query baseline).
+SERVICE_BATCH_SIZES = (1, 16, 256, 4096)
+
+
+def run_service_batch_sweep(
+    n: int | None = None,
+    items: int = 16_384,
+    batches=SERVICE_BATCH_SIZES,
+    seed: int = 42,
+    algorithm: str = "tv-filter",
+    edge_bias: float = 0.25,
+) -> dict:
+    """Batch-size sweep: amortized per-item throughput on a read-heavy mix.
+
+    Holds the instance, seed, mix, and total query-item count fixed while
+    sweeping items-per-record over ``batches`` (``num_ops = items // batch``
+    records each).  batch=1 is the classic point-query dispatch baseline;
+    larger batches answer the same number of items through the vectorized
+    ``*_many`` kernels, so the ratio of ``items_per_s`` is purely the
+    dispatch amortization the batch-first refactor buys.  Runs
+    uninstrumented (no simulated machine) so wall-clock is not skewed by
+    per-record cost-model bookkeeping.
+
+    Returns ``{"graph_n", "graph_m", "items", "algorithm", "mix",
+    "rows": [...]}`` where each row records the batch size, record/item
+    counts, wall seconds, per-record and amortized per-item throughput
+    and percentiles, and the speedup over the batch=1 row.
+    """
+    import os as _os
+
+    from ..service import ServiceEngine, WorkloadSpec, generate_workload
+    from ..service.driver import run_workload
+
+    if n is None:
+        n = (default_n() if ("REPRO_BENCH_N" in _os.environ
+                             or _os.environ.get("REPRO_BENCH_SCALE"))
+             else 10_000)
+    m = n * max(1, round(math.log2(n)))
+    graph_spec = {"family": "connected-gnm", "n": int(n), "m": int(m),
+                  "seed": seed}
+    # one shared engine, warmed before timing: the read-only sweep must
+    # measure query dispatch, not the one-off index build (which the mixed
+    # workload above already accounts for)
+    from ..service.workload import instance_graph
+
+    g = instance_graph(WorkloadSpec(graph=graph_spec))
+    engine = ServiceEngine(algorithm=algorithm)
+    engine.put_graph("sweep", g)
+    engine.query("sweep", "num_components")  # build + cache the index
+    rows: list[dict] = []
+    for batch in batches:
+        num_ops = max(1, int(items) // int(batch))
+        spec = WorkloadSpec(
+            num_ops=num_ops,
+            seed=seed,
+            mix=dict(READ_HEAVY_MIX),
+            edge_bias=edge_bias,
+            query_batch=int(batch),
+            graph=graph_spec,
+        )
+        rep = run_workload(generate_workload(spec, graph=g), graph=g,
+                           engine=engine, name="sweep")
+        rows.append({
+            "batch": int(batch),
+            "num_ops": rep.num_ops,
+            "num_query_items": rep.num_query_items,
+            "wall_s": rep.wall_s,
+            "ops_per_s": rep.throughput_ops_s,
+            "items_per_s": rep.throughput_items_s,
+            "query_p50_us": rep.query_p50_us,
+            "query_item_p50_us": rep.query_item_p50_us,
+            "query_item_p99_us": rep.query_item_p99_us,
+        })
+    base = rows[0]["items_per_s"] or 1.0
+    for row in rows:
+        row["speedup_vs_batch1"] = row["items_per_s"] / base
+    return {
+        "graph_n": g.n,
+        "graph_m": g.m,
+        "items": int(items),
+        "algorithm": algorithm,
+        "mix": dict(READ_HEAVY_MIX),
+        "rows": rows,
+    }
 
 
 def run_dense(p: int = 12, seed: int = 42, n: int = 1500) -> list[AblationRow]:

@@ -306,8 +306,9 @@ def cmd_workload_gen(args) -> int:
             mix=mix_with_update_fraction(args.update_frac),
             vertex_dist=args.dist,
             skew=args.skew,
-            batch_size=args.batch,
+            batch_size=args.update_batch,
             edge_bias=args.edge_bias,
+            query_batch=args.batch,
             graph=graph_spec,
         )
         wl = generate_workload(spec)
@@ -316,8 +317,10 @@ def cmd_workload_gen(args) -> int:
     from .service import save_workload
 
     save_workload(wl, args.out)
-    print(f"wrote {len(wl)} ops ({wl.num_queries} queries, {wl.num_updates} updates) "
-          f"to {args.out}")
+    batched = (f" [{wl.num_query_items} query items, batch={args.batch}]"
+               if args.batch > 1 else "")
+    print(f"wrote {len(wl)} ops ({wl.num_queries} queries, {wl.num_updates} updates)"
+          f"{batched} to {args.out}")
     return 0
 
 
@@ -345,14 +348,23 @@ def cmd_workload_run(args) -> int:
     if args.json:
         print(json.dumps(rep.as_dict(), indent=2))
     else:
+        batched = rep.num_query_items > rep.num_queries
         print(f"graph n={rep.graph_n} m={rep.graph_m}  algorithm={rep.algorithm}")
         print(f"ops: {rep.num_ops} ({rep.num_queries} queries, {rep.num_updates} updates) "
               f"in {rep.wall_s:.3f}s -> {rep.throughput_ops_s:,.0f} ops/s")
+        if batched:
+            print(f"batched: {rep.num_query_items} query items -> "
+                  f"{rep.throughput_items_s:,.0f} items/s amortized")
         print(f"query latency us: p50={rep.query_p50_us:.1f} "
               f"p95={rep.query_p95_us:.1f} p99={rep.query_p99_us:.1f}")
+        if batched:
+            print(f"per-item latency us: p50={rep.query_item_p50_us:.2f} "
+                  f"p95={rep.query_item_p95_us:.2f} p99={rep.query_item_p99_us:.2f}")
         for op, lat in rep.latency_us.items():
-            print(f"  {op:18s} x{lat['count']:<6d} p50={lat['p50_us']:9.1f} "
-                  f"p95={lat['p95_us']:9.1f} p99={lat['p99_us']:9.1f}")
+            per_item = (f" item-p50={lat['per_item_us']['p50_us']:8.2f}"
+                        if lat.get("items", lat["count"]) > lat["count"] else "")
+            print(f"  {op:22s} x{lat['count']:<6d} p50={lat['p50_us']:9.1f} "
+                  f"p95={lat['p95_us']:9.1f} p99={lat['p99_us']:9.1f}{per_item}")
         print(f"cache: {rep.cache_hits} hits / {rep.cache_misses} misses "
               f"(hit rate {rep.cache_hit_rate:.1%}); rebuilds={rep.rebuilds}, "
               f"incremental={rep.incremental_extensions}, no-ops={rep.noop_updates}")
@@ -465,7 +477,11 @@ def main(argv=None) -> int:
                     help="vertex choice distribution")
     pg.add_argument("--skew", type=float, default=3.0,
                     help="skew exponent for --dist skewed")
-    pg.add_argument("--batch", type=int, default=4,
+    pg.add_argument("--batch", type=int, default=1,
+                    help="items per batched query op: > 1 emits every "
+                         "batchable query as its *_many form with this many "
+                         "items (1: point queries, the classic stream)")
+    pg.add_argument("--update-batch", type=int, default=4,
                     help="max edges per update batch")
     pg.add_argument("--edge-bias", type=float, default=0.25,
                     help="probability edge-shaped ops sample a real edge")

@@ -26,11 +26,12 @@ CLI: ``python -m repro workload gen|run`` (see docs/service.md).
 """
 
 from .driver import WorkloadReport, oracle_answer, run_workload
-from .engine import QUERY_OPS, UPDATE_OPS, EngineStats, ServiceEngine
+from .engine import BATCH_OPS, QUERY_OPS, UPDATE_OPS, EngineStats, ServiceEngine
 from .index import BCCIndex
 from .store import GraphStore, StoredGraph, graph_fingerprint, make_graph
 from .updates import apply_add_edges, apply_remove_edges, extend_index, shrink_index
 from .workload import (
+    BATCH_OP_NAMES,
     DEFAULT_MIX,
     Workload,
     WorkloadSpec,
@@ -38,6 +39,7 @@ from .workload import (
     instance_graph,
     load_workload,
     mix_with_update_fraction,
+    op_item_count,
     save_workload,
 )
 
@@ -45,6 +47,9 @@ __all__ = [
     "ServiceEngine",
     "EngineStats",
     "QUERY_OPS",
+    "BATCH_OPS",
+    "BATCH_OP_NAMES",
+    "op_item_count",
     "UPDATE_OPS",
     "BCCIndex",
     "GraphStore",

@@ -7,10 +7,16 @@ in *both* wall-clock time and simulated :class:`repro.smp.Machine` time, so
 a workload's cost decomposes the same way as the paper's Fig. 3/4
 methodology (total simulated seconds at ``p`` processors, split by region).
 
+Latency is reported at two granularities: per *record* (a batched op is
+one record) and amortized per *item* (each batch's span split over its
+items), so the batch-size sweep in ``run_service_bench`` can show the
+per-item dispatch cost collapsing as batches grow.
+
 ``verify=True`` cross-checks every query answer against a from-scratch
 recomputation — sequential Hopcroft–Tarjan plus a fresh block-cut tree —
-recomputed whenever the graph content changes.  This is the engine's
-ground-truth harness (and the CI workload smoke job).
+recomputed whenever the graph content changes; batched ops are checked
+element-wise, one oracle answer per item.  This is the engine's
+ground-truth harness (and the CI workload smoke jobs).
 """
 
 from __future__ import annotations
@@ -27,11 +33,25 @@ from ..obs import Telemetry, WallClockSink
 from ..smp import Machine
 from .engine import ServiceEngine
 from .store import graph_fingerprint
-from .workload import QUERY_OP_NAMES, Workload, instance_graph
+from .workload import (
+    BATCH_OP_NAMES,
+    QUERY_OP_NAMES,
+    Workload,
+    instance_graph,
+    op_item_count,
+)
 
 __all__ = ["WorkloadReport", "run_workload", "oracle_answer"]
 
 _PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Batched op -> the point op each item is verified through.
+_BATCH_TO_SCALAR = {
+    "same_bcc_many": "same_bcc",
+    "is_articulation_many": "is_articulation",
+    "is_bridge_many": "is_bridge",
+    "component_of_edge_many": "component_of_edge",
+}
 
 
 def oracle_answer(result: BCCResult, op: dict):
@@ -39,10 +59,29 @@ def oracle_answer(result: BCCResult, op: dict):
 
     Uses only :class:`~repro.core.result.BCCResult` accessors and a fresh
     block-cut tree — deliberately none of the index's precomputed arrays —
-    so index bugs cannot cancel out.
+    so index bugs cannot cancel out.  Batched ops are answered
+    element-wise through the corresponding point-op oracle (a list of
+    per-item answers; ``classify_edges`` yields per-item dicts), which is
+    exactly the bit-identity contract the batch kernels must meet.
     """
     g = result.graph
     kind = op["op"]
+    if kind in _BATCH_TO_SCALAR:
+        scalar = _BATCH_TO_SCALAR[kind]
+        if kind == "is_articulation_many":
+            return [oracle_answer(result, {"op": scalar, "v": v})
+                    for v in op["params"]["vs"]]
+        return [oracle_answer(result, {"op": scalar, "u": u, "v": v})
+                for u, v in op["params"]["pairs"]]
+    if kind == "classify_edges":
+        out = []
+        for u, v in op["params"]["pairs"]:
+            blk = oracle_answer(result, {"op": "component_of_edge", "u": u, "v": v})
+            out.append({
+                "block": -1 if blk is None else blk,
+                "is_bridge": oracle_answer(result, {"op": "is_bridge", "u": u, "v": v}),
+            })
+        return out
     if kind not in QUERY_OP_NAMES:
         raise ValueError(f"unknown query op {kind!r}")
     if kind == "num_components":
@@ -61,6 +100,24 @@ def oracle_answer(result: BCCResult, op: dict):
     if kind == "is_bridge":
         return bool(ids.size) and bool(np.isin(ids[0], result.bridges()))
     return int(result.edge_labels[ids[0]]) if ids.size else None  # component_of_edge
+
+
+def _mismatches(kind: str, answer, expected) -> int:
+    """Item-wise disagreement count between engine answer and oracle."""
+    if kind in QUERY_OP_NAMES:
+        return int(answer != expected)
+    if kind == "classify_edges":
+        bad = 0
+        for i, exp in enumerate(expected):
+            bad += int(int(answer["block"][i]) != exp["block"]
+                       or bool(answer["is_bridge"][i]) != exp["is_bridge"])
+        return bad
+    if kind == "component_of_edge_many":
+        want = np.asarray([-1 if e is None else e for e in expected], dtype=np.int64)
+        return int(np.sum(np.asarray(answer, dtype=np.int64) != want))
+    # boolean batch ops
+    want = np.asarray(expected, dtype=bool)
+    return int(np.sum(np.asarray(answer, dtype=bool) != want))
 
 
 class _RecomputeOracle:
@@ -90,12 +147,23 @@ class WorkloadReport:
     algorithm: str
     wall_s: float
     throughput_ops_s: float
-    #: op type -> {"count", "mean_us", "p50_us", "p95_us", "p99_us"}
+    #: individual query answers produced (batched records weighted by
+    #: their item count; equals num_queries for an unbatched workload)
+    num_query_items: int = 0
+    #: amortized per-item throughput: (query items + update records) / wall
+    throughput_items_s: float = 0.0
+    #: op type -> {"count", "mean_us", "p50_us", "p95_us", "p99_us",
+    #: "items", "per_item_us": {...}} — per-record (per-batch) latencies
+    #: plus the amortized per-item view of the same spans
     latency_us: dict = field(default_factory=dict)
-    #: aggregate percentiles over all query ops
+    #: aggregate per-record percentiles over all query ops
     query_p50_us: float = 0.0
     query_p95_us: float = 0.0
     query_p99_us: float = 0.0
+    #: aggregate amortized per-item percentiles over all query ops
+    query_item_p50_us: float = 0.0
+    query_item_p95_us: float = 0.0
+    query_item_p99_us: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
@@ -116,8 +184,12 @@ class WorkloadReport:
         return asdict(self)
 
 
-def _percentiles(ns: list[int]) -> dict:
+def _percentiles(ns) -> dict:
     arr = np.asarray(ns, dtype=np.float64) / 1000.0  # ns -> us
+    if arr.size == 0:
+        # an op type that never fired (short workload / narrow mix)
+        return {"count": 0, "mean_us": 0.0, "p50_us": 0.0,
+                "p95_us": 0.0, "p99_us": 0.0}
     p50, p95, p99 = np.percentile(arr, _PERCENTILES)
     return {
         "count": int(arr.size),
@@ -126,6 +198,18 @@ def _percentiles(ns: list[int]) -> dict:
         "p95_us": float(p95),
         "p99_us": float(p99),
     }
+
+
+def _per_item_ns(ns, items) -> np.ndarray:
+    """Amortized per-item latencies: each batch's span split evenly.
+
+    A record of k items run in t ns contributes k samples of t/k, so the
+    percentile distribution is over *items*, not records.
+    """
+    arr = np.asarray(ns, dtype=np.float64)
+    counts = np.asarray(items, dtype=np.int64)
+    live = counts > 0
+    return np.repeat(arr[live] / counts[live], counts[live])
 
 
 def run_workload(
@@ -158,21 +242,23 @@ def run_workload(
     oracle = _RecomputeOracle() if verify else None
     mismatches = 0
     # Request latencies are spans on a driver-private telemetry: one span
-    # per op, keyed by op type, with every individual duration kept for
-    # percentiles.  Deliberately *not* the engine/machine telemetry —
+    # per op record, keyed by op type, with every individual duration kept
+    # for percentiles.  Deliberately *not* the engine/machine telemetry —
     # request spans are a wall-clock measurement frame, not a simulated
     # cost region, and must not re-root the Service-* attribution.
     req_sink = WallClockSink(record_each=True)
     req_tel = Telemetry(sinks=[req_sink])
+    items_by_kind: dict[str, list[int]] = {}
     with req_tel.span("workload"):
         for op in workload.ops:
             kind = op["op"]
+            items_by_kind.setdefault(kind, []).append(op_item_count(op))
             with req_tel.span(kind):
                 answer = engine.apply(name, op)
-            if oracle is not None and kind in QUERY_OP_NAMES:
+            if oracle is not None and (kind in QUERY_OP_NAMES
+                                       or kind in BATCH_OP_NAMES):
                 expected = oracle.answer(engine.graph(name), op)
-                if answer != expected:
-                    mismatches += 1
+                mismatches += _mismatches(kind, answer, expected)
     wall = req_sink.seconds["workload"]
     latencies = {
         path.split(".", 1)[1]: ns
@@ -181,12 +267,31 @@ def run_workload(
     }
 
     st = engine.stats
-    latency_us = {k: _percentiles(v) for k, v in sorted(latencies.items())}
-    query_ns = [ns for k, v in latencies.items() if k in QUERY_OP_NAMES for ns in v]
+    latency_us = {}
+    for kind, ns in sorted(latencies.items()):
+        entry = _percentiles(ns)
+        items = items_by_kind.get(kind, [1] * len(ns))
+        entry["items"] = int(sum(items))
+        per = _percentiles(_per_item_ns(ns, items))
+        per.pop("count", None)
+        entry["per_item_us"] = per
+        latency_us[kind] = entry
+    is_query = lambda k: k in QUERY_OP_NAMES or k in BATCH_OP_NAMES  # noqa: E731
+    query_ns = [ns for k, v in latencies.items() if is_query(k) for ns in v]
     q50 = q95 = q99 = 0.0
     if query_ns:
         agg = _percentiles(query_ns)
         q50, q95, q99 = agg["p50_us"], agg["p95_us"], agg["p99_us"]
+    item_ns = np.concatenate([
+        _per_item_ns(v, items_by_kind.get(k, [1] * len(v)))
+        for k, v in latencies.items() if is_query(k)
+    ]) if query_ns else np.zeros(0)
+    i50 = i95 = i99 = 0.0
+    if item_ns.size:
+        agg = _percentiles(item_ns)
+        i50, i95, i99 = agg["p50_us"], agg["p95_us"], agg["p99_us"]
+    num_query_items = workload.num_query_items
+    total_items = num_query_items + workload.num_updates
 
     report = WorkloadReport(
         graph_n=graph.n,
@@ -197,10 +302,15 @@ def run_workload(
         algorithm=engine.algorithm,
         wall_s=wall,
         throughput_ops_s=len(workload.ops) / wall if wall > 0 else 0.0,
+        num_query_items=num_query_items,
+        throughput_items_s=total_items / wall if wall > 0 else 0.0,
         latency_us=latency_us,
         query_p50_us=q50,
         query_p95_us=q95,
         query_p99_us=q99,
+        query_item_p50_us=i50,
+        query_item_p95_us=i95,
+        query_item_p99_us=i99,
         cache_hits=st.cache_hits,
         cache_misses=st.cache_misses,
         cache_hit_rate=st.cache_hit_rate,

@@ -13,13 +13,22 @@ File format (JSON lines)::
     {"workload": 1, "spec": {"num_ops": 1000, "seed": 7, "mix": {...},
                              "vertex_dist": "uniform", "skew": 3.0,
                              "batch_size": 4, "edge_bias": 0.25,
+                             "query_batch": 1,
                              "graph": {"family": "connected-gnm",
                                        "n": 2000, "m": 8000, "seed": 7}}}
     {"op": "same_bcc", "u": 17, "v": 942}
     {"op": "is_articulation", "v": 3}
+    {"op": "same_bcc_many", "params": {"pairs": [[17, 942], [3, 8]]}}
+    {"op": "classify_edges", "params": {"pairs": [[5, 99], [12, 40]]}}
     {"op": "add_edges", "edges": [[5, 99], [12, 40]]}
     {"op": "remove_edges", "edges": [[5, 99]]}
     ...
+
+Batched query ops carry their items under ``params`` (the
+graphdb-benchmarks op-schema shape).  ``query_batch`` > 1 makes the
+generator emit every batchable query as its ``*_many`` form with that
+many items per record; ``query_batch`` = 1 reproduces the point-query
+streams of earlier versions bit-for-bit.
 
 Vertex choice is either ``uniform`` or ``skewed`` (polynomial skew toward
 low vertex ids, a Zipf-like hot set: ``v = floor(n * U**skew)`` for
@@ -44,9 +53,12 @@ from .store import make_graph
 
 __all__ = [
     "QUERY_OP_NAMES",
+    "BATCH_OP_NAMES",
     "UPDATE_OP_NAMES",
+    "BATCHABLE",
     "DEFAULT_MIX",
     "mix_with_update_fraction",
+    "op_item_count",
     "WorkloadSpec",
     "Workload",
     "instance_graph",
@@ -62,7 +74,40 @@ QUERY_OP_NAMES = (
     "component_of_edge",
     "num_components",
 )
+#: Batched query ops (items under ``params``; see repro.service.engine).
+BATCH_OP_NAMES = (
+    "same_bcc_many",
+    "is_articulation_many",
+    "is_bridge_many",
+    "component_of_edge_many",
+    "classify_edges",
+)
+#: Point query op -> its batched form (``query_batch`` > 1 promotes these).
+BATCHABLE = {
+    "same_bcc": "same_bcc_many",
+    "is_articulation": "is_articulation_many",
+    "is_bridge": "is_bridge_many",
+    "component_of_edge": "component_of_edge_many",
+}
 UPDATE_OP_NAMES = ("add_edges", "remove_edges")
+
+#: Batched ops whose items are edge-shaped pairs (honour ``edge_bias``).
+_EDGE_SHAPED_BATCH = ("is_bridge_many", "component_of_edge_many", "classify_edges")
+
+
+def op_item_count(op: dict) -> int:
+    """Number of individual query items one op record answers.
+
+    Point queries and updates count 1; batched queries count their
+    ``params`` payload length.  This is the unit amortized per-item
+    latency and throughput are measured in.
+    """
+    kind = op["op"]
+    if kind in BATCH_OP_NAMES:
+        params = op.get("params", {})
+        key = "vs" if kind == "is_articulation_many" else "pairs"
+        return len(params.get(key, ()))
+    return 1
 
 #: Default op mix: 90% point queries / 10% batch updates.
 DEFAULT_MIX = {
@@ -103,6 +148,10 @@ class WorkloadSpec:
     skew: float = 3.0
     batch_size: int = 4  # max edges per update batch
     edge_bias: float = 0.25
+    #: Items per batched query record.  1 keeps every query a point op;
+    #: > 1 emits batchable queries as their ``*_many`` form with this
+    #: many sampled items each (``num_ops`` still counts records).
+    query_batch: int = 1
     #: Graph spec: {"family", "n", "m", "seed"} for a generated instance,
     #: or {"path": "..."} for a graph file.  None means the caller supplies
     #: the graph at generation/run time.
@@ -113,11 +162,20 @@ class WorkloadSpec:
             raise ValueError("num_ops must be >= 0")
         if self.vertex_dist not in ("uniform", "skewed"):
             raise ValueError(f"vertex_dist must be uniform|skewed, got {self.vertex_dist!r}")
-        unknown = set(self.mix) - set(QUERY_OP_NAMES) - set(UPDATE_OP_NAMES)
+        if self.query_batch < 1:
+            raise ValueError(f"query_batch must be >= 1, got {self.query_batch}")
+        unknown = (set(self.mix) - set(QUERY_OP_NAMES) - set(BATCH_OP_NAMES)
+                   - set(UPDATE_OP_NAMES))
         if unknown:
             raise ValueError(f"unknown ops in mix: {sorted(unknown)}")
-        if any(w < 0 for w in self.mix.values()) or sum(self.mix.values()) <= 0:
-            raise ValueError("mix weights must be >= 0 and sum to > 0")
+        if any(w < 0 for w in self.mix.values()):
+            raise ValueError("mix weights must be >= 0 and sum to 1.0")
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"mix weights must be >= 0 and sum to 1.0, got sum={total!r} "
+                f"(the sampler would silently renormalize a skewed mix)"
+            )
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -136,7 +194,15 @@ class Workload:
 
     @property
     def num_queries(self) -> int:
-        return sum(1 for op in self.ops if op["op"] in QUERY_OP_NAMES)
+        """Query *records* (a batched op counts once; see num_query_items)."""
+        return sum(1 for op in self.ops
+                   if op["op"] in QUERY_OP_NAMES or op["op"] in BATCH_OP_NAMES)
+
+    @property
+    def num_query_items(self) -> int:
+        """Individual query answers produced (batched records weighted)."""
+        return sum(op_item_count(op) for op in self.ops
+                   if op["op"] not in UPDATE_OP_NAMES)
 
     @property
     def num_updates(self) -> int:
@@ -189,9 +255,21 @@ def generate_workload(spec: WorkloadSpec, graph: Graph | None = None) -> Workloa
             return int(graph.u[i]), int(graph.v[i])
         return vertex(), vertex()
 
+    def batched_op(kind: str) -> dict:
+        k = spec.query_batch
+        if kind == "is_articulation_many":
+            return {"op": kind, "params": {"vs": [vertex() for _ in range(k)]}}
+        edge_shaped = kind in _EDGE_SHAPED_BATCH
+        return {"op": kind,
+                "params": {"pairs": [list(pair(edge_shaped)) for _ in range(k)]}}
+
     ops: list[dict] = []
     for kind in kinds:
-        if kind == "same_bcc":
+        if spec.query_batch > 1 and kind in BATCHABLE:
+            kind = BATCHABLE[kind]
+        if kind in BATCH_OP_NAMES:
+            ops.append(batched_op(kind))
+        elif kind == "same_bcc":
             u, v = pair(edge_shaped=False)
             ops.append({"op": kind, "u": u, "v": v})
         elif kind == "is_articulation":
@@ -238,7 +316,8 @@ def load_workload(path) -> Workload:
                 continue
             op = json.loads(line)
             kind = op.get("op")
-            if kind not in QUERY_OP_NAMES and kind not in UPDATE_OP_NAMES:
+            if (kind not in QUERY_OP_NAMES and kind not in BATCH_OP_NAMES
+                    and kind not in UPDATE_OP_NAMES):
                 raise ValueError(f"line {lineno}: unknown op {kind!r}")
             ops.append(op)
     return Workload(spec, ops)

@@ -4,9 +4,11 @@ import json
 
 import pytest
 
+import numpy as np
+
 from repro.core.tarjan import tarjan_bcc
 from repro.graph import generators as gen
-from repro.service.driver import oracle_answer, run_workload
+from repro.service.driver import _per_item_ns, _percentiles, oracle_answer, run_workload
 from repro.service.engine import ServiceEngine
 from repro.service.workload import WorkloadSpec, generate_workload, mix_with_update_fraction
 from repro.smp import e4500
@@ -14,6 +16,13 @@ from repro.smp import e4500
 SPEC = WorkloadSpec(
     num_ops=400,
     seed=3,
+    graph={"family": "connected-gnm", "n": 120, "m": 360, "seed": 3},
+)
+
+BATCH_SPEC = WorkloadSpec(
+    num_ops=80,
+    seed=3,
+    query_batch=16,
     graph={"family": "connected-gnm", "n": 120, "m": 360, "seed": 3},
 )
 
@@ -28,6 +37,40 @@ class TestOracleAnswer:
         res = tarjan_bcc(gen.path_graph(4))
         assert oracle_answer(res, {"op": "is_bridge", "u": 0, "v": 3}) is False
         assert oracle_answer(res, {"op": "component_of_edge", "u": 0, "v": 3}) is None
+
+    def test_batch_ops_answered_elementwise(self):
+        g = gen.path_graph(4)
+        res = tarjan_bcc(g)
+        pairs = [[0, 1], [0, 3], [1, 2]]
+        assert oracle_answer(res, {"op": "is_bridge_many", "params": {"pairs": pairs}}) == [
+            oracle_answer(res, {"op": "is_bridge", "u": u, "v": v}) for u, v in pairs
+        ]
+        assert oracle_answer(
+            res, {"op": "is_articulation_many", "params": {"vs": [0, 1, 2, 3]}}
+        ) == [oracle_answer(res, {"op": "is_articulation", "v": v}) for v in range(4)]
+        cls = oracle_answer(res, {"op": "classify_edges", "params": {"pairs": pairs}})
+        assert cls[1] == {"block": -1, "is_bridge": False}  # (0, 3) is a non-edge
+        assert cls[0]["is_bridge"] is True
+
+
+class TestHelpers:
+    def test_percentiles_empty_is_zeros(self):
+        out = _percentiles([])
+        assert out == {"count": 0, "mean_us": 0.0, "p50_us": 0.0,
+                       "p95_us": 0.0, "p99_us": 0.0}
+
+    def test_percentiles_ordering(self):
+        out = _percentiles([1000, 2000, 3000, 4000])
+        assert out["count"] == 4
+        assert out["p99_us"] >= out["p95_us"] >= out["p50_us"] > 0
+
+    def test_per_item_ns_amortizes(self):
+        # a 3-item batch at 30ns contributes three 10ns samples
+        out = _per_item_ns([30, 50], [3, 1])
+        np.testing.assert_allclose(sorted(out), [10.0, 10.0, 10.0, 50.0])
+
+    def test_per_item_ns_empty(self):
+        assert _per_item_ns([], []).size == 0
 
 
 class TestRunWorkload:
@@ -73,6 +116,34 @@ class TestRunWorkload:
         rep = run_workload(generate_workload(SPEC), engine=eng)
         assert rep.algorithm == "tv-smp"
         assert eng.stats.queries == rep.num_queries
+
+    def test_batched_verified_run(self):
+        wl = generate_workload(BATCH_SPEC)
+        rep = run_workload(wl, verify=True)
+        assert rep.verified is True and rep.mismatches == 0
+        assert rep.num_query_items > rep.num_queries
+        assert rep.num_query_items == wl.num_query_items
+        assert rep.throughput_items_s > rep.throughput_ops_s
+        assert rep.query_item_p99_us >= rep.query_item_p50_us > 0
+        # batch latency entries carry item counts and amortized stats
+        batched = [s for op, s in rep.latency_us.items() if op.endswith("_many")]
+        assert batched
+        for s in batched:
+            assert s["items"] > s["count"]
+            assert set(s["per_item_us"]) == {"mean_us", "p50_us", "p95_us", "p99_us"}
+            assert s["per_item_us"]["p50_us"] <= s["p50_us"]
+
+    def test_batched_report_json_serializable(self):
+        rep = run_workload(generate_workload(BATCH_SPEC), verify=True)
+        doc = json.loads(json.dumps(rep.as_dict()))
+        assert doc["num_query_items"] == rep.num_query_items
+        assert doc["query_item_p50_us"] == rep.query_item_p50_us
+
+    def test_scalar_run_has_no_batch_extras(self):
+        rep = run_workload(generate_workload(SPEC))
+        assert rep.num_query_items == rep.num_queries
+        for s in rep.latency_us.values():
+            assert s["items"] == s["count"]
 
     def test_alternate_algorithm_verifies(self):
         spec = WorkloadSpec(num_ops=150, seed=5,

@@ -6,6 +6,8 @@ import pytest
 
 from repro.graph import generators as gen
 from repro.service.workload import (
+    BATCHABLE,
+    BATCH_OP_NAMES,
     DEFAULT_MIX,
     QUERY_OP_NAMES,
     UPDATE_OP_NAMES,
@@ -15,6 +17,7 @@ from repro.service.workload import (
     instance_graph,
     load_workload,
     mix_with_update_fraction,
+    op_item_count,
     save_workload,
 )
 
@@ -65,13 +68,30 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="weights"):
             WorkloadSpec(mix={"same_bcc": 0.0})
 
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="weights.*sum"):
+            WorkloadSpec(mix={"same_bcc": 0.5, "is_bridge": 0.6})
+        # a hair inside the tolerance is fine
+        WorkloadSpec(mix={"same_bcc": 0.5, "is_bridge": 0.5 + 5e-7})
+
     def test_negative_ops(self):
         with pytest.raises(ValueError, match="num_ops"):
             WorkloadSpec(num_ops=-1)
 
+    def test_bad_query_batch(self):
+        with pytest.raises(ValueError, match="query_batch"):
+            WorkloadSpec(query_batch=0)
+
+    def test_batch_ops_allowed_in_mix(self):
+        WorkloadSpec(mix={"same_bcc_many": 0.5, "classify_edges": 0.5})
+
     def test_round_trips_through_dict(self):
         spec = WorkloadSpec(num_ops=5, seed=3, graph=dict(GRAPH_SPEC))
         assert WorkloadSpec.from_dict(spec.as_dict()) == spec
+
+    def test_query_batch_round_trips_through_dict(self):
+        spec = WorkloadSpec(num_ops=5, seed=3, query_batch=64, graph=dict(GRAPH_SPEC))
+        assert WorkloadSpec.from_dict(spec.as_dict()).query_batch == 64
 
 
 class TestGeneration:
@@ -134,6 +154,57 @@ class TestGeneration:
     def test_tiny_graph_rejected(self):
         with pytest.raises(ValueError, match=">= 2 vertices"):
             generate_workload(WorkloadSpec(num_ops=5), graph=gen.path_graph(1))
+
+
+class TestBatchedGeneration:
+    def test_batch_one_is_bit_identical_to_scalar_stream(self):
+        base = WorkloadSpec(num_ops=150, seed=4, graph=dict(GRAPH_SPEC))
+        batched = WorkloadSpec(num_ops=150, seed=4, query_batch=1,
+                               graph=dict(GRAPH_SPEC))
+        assert generate_workload(base).ops == generate_workload(batched).ops
+
+    def test_batched_records_carry_items(self):
+        spec = WorkloadSpec(num_ops=60, seed=4, query_batch=8,
+                            graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        kinds = {op["op"] for op in wl.ops}
+        assert kinds & set(BATCH_OP_NAMES)
+        assert not kinds & set(BATCHABLE)  # every batchable scalar promoted
+        for op in wl.ops:
+            if op["op"] in BATCH_OP_NAMES:
+                key = "vs" if op["op"] == "is_articulation_many" else "pairs"
+                items = op["params"][key]
+                assert len(items) == 8
+                assert op_item_count(op) == 8
+                if key == "pairs":
+                    assert all(len(p) == 2 for p in items)
+
+    def test_num_query_items(self):
+        spec = WorkloadSpec(num_ops=40, seed=4, query_batch=16,
+                            mix=mix_with_update_fraction(0.0),
+                            graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        assert wl.num_queries == 40
+        # num_components is not batchable, so those records stay size-1
+        batched = sum(1 for op in wl.ops if op["op"] in BATCH_OP_NAMES)
+        scalar = 40 - batched
+        assert batched > 0
+        assert wl.num_query_items == batched * 16 + scalar
+
+    def test_batched_round_trip(self, tmp_path):
+        spec = WorkloadSpec(num_ops=50, seed=7, query_batch=4,
+                            graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        path = tmp_path / "b.jsonl"
+        save_workload(wl, path)
+        back = load_workload(path)
+        assert back.spec == wl.spec
+        assert back.spec.query_batch == 4
+        assert back.ops == wl.ops
+
+    def test_op_item_count_scalar(self):
+        assert op_item_count({"op": "same_bcc", "u": 0, "v": 1}) == 1
+        assert op_item_count({"op": "add_edges", "edges": [[0, 1], [2, 3]]}) == 1
 
 
 class TestInstanceGraph:

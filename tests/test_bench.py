@@ -223,15 +223,53 @@ class TestServiceBench:
         assert "hit rate" in text
         assert "simulated E4500 (p=4)" in text
 
-    def test_cli_service_json(self, tmp_path, capsys):
+    def test_run_service_batch_sweep(self):
+        sweep = runner.run_service_batch_sweep(n=400, items=256, batches=(1, 16), seed=1)
+        assert sweep["graph_n"] == 400
+        assert abs(sum(sweep["mix"].values()) - 1.0) < 1e-9
+        rows = sweep["rows"]
+        assert [r["batch"] for r in rows] == [1, 16]
+        # same item stream at every point: only the record count changes
+        assert all(r["num_query_items"] == 256 for r in rows)
+        assert rows[0]["num_ops"] == 256 and rows[1]["num_ops"] == 16
+        assert rows[0]["speedup_vs_batch1"] == pytest.approx(1.0)
+        assert all(r["items_per_s"] > 0 for r in rows)
+
+    def test_format_service_sweep(self):
+        sweep = runner.run_service_batch_sweep(n=400, items=128, batches=(1, 32), seed=1)
+        text = report.format_service_sweep(sweep)
+        assert "Service batch sweep" in text
+        assert "items/s" in text and "speedup" in text
+        assert "1.0x" in text
+
+    def test_cli_service_json(self, tmp_path, capsys, monkeypatch):
         from repro.bench.__main__ import main
 
+        # chdir away from the repo root so the experiment's results/
+        # auto-write cannot touch the committed BENCH_service.json
+        monkeypatch.chdir(tmp_path)
         path = tmp_path / "svc.json"
         monkey_n = "600"
         assert main(["service", "--n", monkey_n, "--json", str(path)]) == 0
         out = capsys.readouterr().out
         assert "Service workload" in out
+        assert "Service batch sweep" in out
         data = json.loads(path.read_text())
-        assert data["graph_n"] == 600
-        assert data["throughput_ops_s"] > 0
-        assert data["cache_hit_rate"] > 0
+        assert data["version"] == 2
+        assert data["workload"]["graph_n"] == 600
+        assert data["workload"]["throughput_ops_s"] > 0
+        assert data["workload"]["cache_hit_rate"] > 0
+        sweep = data["batch_sweep"]
+        assert sweep["graph_n"] == 600
+        assert [r["batch"] for r in sweep["rows"]] == [1, 16, 256, 4096]
+
+    def test_cli_service_writes_results_dir(self, tmp_path, capsys, monkeypatch):
+        from repro.bench.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "results").mkdir()
+        assert main(["service", "--n", "600"]) == 0
+        assert "wrote results/BENCH_service.json" in capsys.readouterr().out
+        data = json.loads((tmp_path / "results" / "BENCH_service.json").read_text())
+        assert data["version"] == 2
+        assert data["batch_sweep"]["rows"][0]["batch"] == 1

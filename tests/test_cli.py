@@ -306,6 +306,62 @@ class TestWorkloadCLI:
             main(["workload", "run", path])
 
 
+class TestBatchedWorkloadCLI:
+    def _gen(self, tmp_path, *extra):
+        out = tmp_path / "wb.jsonl"
+        args = ["workload", "gen", str(out), "--ops", "150", "--seed", "7",
+                "--n", "150", "--m", "450", "--batch", "8", *extra]
+        assert main(args) == 0
+        return out
+
+    def test_gen_emits_many_ops(self, tmp_path, capsys):
+        import json
+
+        from repro.service.workload import BATCH_OP_NAMES
+
+        out = self._gen(tmp_path)
+        text = capsys.readouterr().out
+        assert "query items, batch=8" in text
+        lines = out.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["spec"]["query_batch"] == 8
+        kinds = {json.loads(l)["op"] for l in lines[1:]}
+        assert kinds & set(BATCH_OP_NAMES)
+        assert "same_bcc" not in kinds  # promoted to same_bcc_many
+
+    def test_update_batch_flag(self, tmp_path, capsys):
+        import json
+
+        out = self._gen(tmp_path, "--update-batch", "2", "--update-frac", "0.5")
+        capsys.readouterr()
+        updates = [json.loads(l) for l in out.read_text().splitlines()[1:]
+                   if json.loads(l)["op"] in ("add_edges", "remove_edges")]
+        assert updates
+        assert all(1 <= len(op["edges"]) <= 2 for op in updates)
+
+    def test_run_batched_verified(self, tmp_path, capsys):
+        out = self._gen(tmp_path)
+        capsys.readouterr()
+        assert main(["workload", "run", str(out), "--verify"]) == 0
+        text = capsys.readouterr().out
+        assert "batched:" in text and "items/s amortized" in text
+        assert "per-item latency us:" in text
+        assert "item-p50=" in text
+        assert "verified against recompute-from-scratch: True (0 mismatches)" in text
+
+    def test_run_batched_json(self, tmp_path, capsys):
+        import json
+
+        out = self._gen(tmp_path)
+        capsys.readouterr()
+        assert main(["workload", "run", str(out), "--json", "--verify"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verified"] is True and doc["mismatches"] == 0
+        assert doc["num_query_items"] > doc["num_queries"]
+        assert doc["throughput_items_s"] > doc["throughput_ops_s"]
+        assert doc["query_item_p99_us"] > 0
+
+
 class TestVerifyFlag:
     def test_verify_human_output(self, graph_file, capsys):
         path, _ = graph_file
