@@ -24,6 +24,10 @@ The abl-* experiments enumerate the stage/strategy registry
   runtime       execution backends: kernel + end-to-end wall-clock across
                 serial/threads/processes at p in {1,2,4} (docs/runtime.md);
                 writes results/BENCH_runtime.json
+  scale         cluster scale-out: shard x client x batch sweep through the
+                sharded front-end with element-wise verification against a
+                single engine (repro.cluster; see docs/cluster.md);
+                writes results/BENCH_scale.json
   all           run everything
 
 Scale: --n overrides the vertex count (default 100,000;
@@ -181,6 +185,18 @@ def _runtime(args):
     if os.path.isdir("results"):
         _save_json(result, "results/BENCH_runtime.json")
         print("wrote results/BENCH_runtime.json")
+    return result
+
+
+@experiment("scale")
+def _scale(args):
+    result = runner.run_scale_bench(n=args.n, seed=args.seed)
+    _emit(report.format_scale(result), args)
+    import os
+
+    if os.path.isdir("results"):
+        _save_json(result, "results/BENCH_scale.json")
+        print("wrote results/BENCH_scale.json")
     return result
 
 

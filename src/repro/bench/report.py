@@ -308,3 +308,52 @@ def format_runtime(result: dict) -> str:
         f"speedups are bounded by the core count above",
     ]
     return "\n".join(lines)
+
+
+def format_scale(result: dict) -> str:
+    """Cluster scale sweep: shard x client x batch throughput table.
+
+    ``result`` is the dict from
+    :func:`repro.bench.runner.run_scale_bench`.  The throughput baseline
+    for the overhead column is the 1-shard 1-client row at the same
+    query batch (routing a single stream through the full
+    scatter/gather path), so the column isolates what sharding and
+    client concurrency add or cost on this host.
+    """
+    host = result["host"]
+    scale = result["scale"]
+    base = {r["query_batch"]: r["throughput_items_s"]
+            for r in result["sweep"]
+            if r["shards"] == 1 and r["clients"] == 1}
+    rows = [
+        [r["shards"], r["clients"], r["query_batch"], r["ops"],
+         f"{r['throughput_ops_s']:,.0f}", f"{r['throughput_items_s']:,.0f}",
+         r["throughput_items_s"] / base[r["query_batch"]]
+         if base.get(r["query_batch"]) else float("nan"),
+         f"{r['frame_p50_us']:.0f}",
+         ("yes" if r["verified"] else "NO" if r["verified"] is not None
+          else "-")]
+        for r in result["sweep"]
+    ]
+    verified = [r["verified"] for r in result["sweep"]]
+    all_checked = all(v is not None for v in verified)
+    footer = (
+        "every configuration verified element-wise against a single engine"
+        if all_checked and all(verified)
+        else "VERIFICATION FAILED in at least one configuration"
+        if all_checked
+        else "verification was off for at least one configuration"
+    )
+    return "\n".join([
+        table(
+            ["shards", "clients", "batch", "ops", "ops/s", "items/s",
+             "vs 1x1", "frame p50 [us]", "verified"],
+            rows,
+            f"Cluster scale sweep — {scale['backend']} backend, "
+            f"n={scale['n']:,} m={scale['m']:,} per client, "
+            f"{scale['ops_per_client']} ops/client, "
+            f"frames of {scale['frame_records']}",
+        ),
+        "",
+        f"{footer}; host: {host['cpu_count']} core(s), {host['platform']}",
+    ])

@@ -724,3 +724,108 @@ def run_runtime_bench(
         "kernels": kernel_rows,
         "end_to_end": e2e_rows,
     }
+
+
+#: Shard x client grid the scale bench sweeps (with query_batch axis).
+SCALE_SHARDS = (1, 2, 4)
+SCALE_CLIENTS = (1, 2, 4)
+SCALE_BATCHES = (1, 64)
+
+
+def run_scale_bench(
+    n: int | None = None,
+    ops: int = 400,
+    seed: int = 42,
+    shards=None,
+    clients=None,
+    batches=None,
+    backend: str = "serial",
+    frame_records: int = 16,
+    update_frac: float = 0.05,
+    algorithm: str = "tv-filter",
+    verify: bool = True,
+) -> dict:
+    """Scale-out sweep: shard count x client count x query batch size.
+
+    Every configuration runs the cluster's multi-client driver
+    (:func:`repro.cluster.run_cluster_workload`) over seeded per-client
+    instances at n vertices, m = n * round(log2 n) edges, and — with
+    ``verify`` on, the default — replays every client stream on a single
+    :class:`~repro.service.engine.ServiceEngine` asserting element-wise
+    identical answers; a row's ``verified`` field records that oracle
+    outcome, so results/BENCH_scale.json doubles as a correctness
+    artifact for the routing layer.
+
+    The default backend is ``serial`` (in-process shard engines): on a
+    1-core CI box the sweep then measures pure routing overhead — how
+    much the scatter/gather layer costs over a single engine — rather
+    than parallel speedup.  Pass ``backend="processes"`` on a real
+    multi-core host to measure scale-out throughput.
+    """
+    import os as _os
+    import platform as _platform
+    import sys as _sys
+
+    from ..cluster import run_cluster_workload
+    from ..service import WorkloadSpec, mix_with_update_fraction
+
+    shards = SCALE_SHARDS if shards is None else shards
+    clients = SCALE_CLIENTS if clients is None else clients
+    batches = SCALE_BATCHES if batches is None else batches
+    if n is None:
+        n = (default_n() if ("REPRO_BENCH_N" in _os.environ
+                             or _os.environ.get("REPRO_BENCH_SCALE"))
+             else 2_000)
+    m = n * max(1, round(math.log2(n)))
+    rows = []
+    for query_batch in batches:
+        spec = WorkloadSpec(
+            num_ops=ops,
+            seed=seed,
+            mix=mix_with_update_fraction(update_frac),
+            query_batch=int(query_batch),
+            graph={"family": "connected-gnm", "n": int(n), "m": int(m),
+                   "seed": seed},
+        )
+        for num_shards in shards:
+            for num_clients in clients:
+                rep = run_cluster_workload(
+                    spec,
+                    num_shards=int(num_shards),
+                    num_clients=int(num_clients),
+                    backend=backend,
+                    frame_records=frame_records,
+                    algorithm=algorithm,
+                    verify=verify,
+                )
+                rows.append({
+                    "shards": int(num_shards),
+                    "clients": int(num_clients),
+                    "query_batch": int(query_batch),
+                    "backend": rep.backend,
+                    "ops": rep.num_ops,
+                    "query_items": rep.num_query_items,
+                    "wall_s": rep.wall_s,
+                    "throughput_ops_s": rep.throughput_ops_s,
+                    "throughput_items_s": rep.throughput_items_s,
+                    "frame_p50_us": rep.frame_p50_us,
+                    "frame_p95_us": rep.frame_p95_us,
+                    "item_p50_us": rep.query_item_p50_us,
+                    "verified": rep.verified,
+                    "mismatches": rep.mismatches,
+                    "clean_shutdown": rep.clean_shutdown,
+                    "leaked_segments": rep.leaked_segments,
+                })
+    return {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": _platform.platform(),
+            "python": _sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "scale": {"n": int(n), "m": int(m), "ops_per_client": int(ops),
+                  "frame_records": int(frame_records),
+                  "update_frac": update_frac, "algorithm": algorithm,
+                  "backend": backend, "seed": int(seed)},
+        "sweep": rows,
+    }

@@ -58,6 +58,9 @@ GENERATORS = {
     "rmat": lambda args: gen.rmat_graph(
         max(args.n - 1, 1).bit_length(), edge_factor=args.m / max(args.n, 1), seed=args.seed
     ),
+    "barabasi-albert": lambda args: gen.barabasi_albert(
+        args.n, k=max(1, round(args.m / max(args.n, 1))), seed=args.seed
+    ),
 }
 
 
@@ -180,7 +183,7 @@ def cmd_bcc(args) -> int:
 
 #: Families parameterized by a target edge count: --m is mandatory for
 #: these (the default --m 0 would yield a degenerate instance).
-EDGE_COUNT_FAMILIES = ("connected-gnm", "gnm", "rmat")
+EDGE_COUNT_FAMILIES = ("connected-gnm", "gnm", "rmat", "barabasi-albert")
 
 
 def cmd_generate(args) -> int:
@@ -382,6 +385,106 @@ def cmd_workload_run(args) -> int:
     return 0
 
 
+def cmd_cluster_run(args) -> int:
+    from .cluster import run_cluster_workload
+    from .service import WorkloadSpec, mix_with_update_fraction
+
+    m = args.m if args.m > 0 else args.n * max(1, round(math.log2(max(args.n, 2))))
+    telemetry = trace_sink = None
+    if args.trace:
+        from .obs import ChromeTraceSink, Telemetry
+
+        telemetry = Telemetry()
+        trace_sink = telemetry.add_sink(ChromeTraceSink())
+    try:
+        spec = WorkloadSpec(
+            num_ops=args.ops,
+            seed=args.seed,
+            mix=mix_with_update_fraction(args.update_frac),
+            query_batch=args.batch,
+            graph={"family": args.family, "n": args.n, "m": int(m), "seed": args.seed},
+        )
+        rep = run_cluster_workload(
+            spec,
+            num_shards=args.shards,
+            num_clients=args.clients,
+            backend=args.backend,
+            frame_records=args.frame,
+            algorithm=args.algorithm,
+            cache_size=args.cache_size,
+            verify=args.verify,
+            telemetry=telemetry,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"cluster run: {exc}") from None
+    if trace_sink is not None:
+        trace_sink.write(args.trace)
+    if args.json:
+        print(json.dumps(rep.as_dict(), indent=2))
+    else:
+        print(f"cluster: {rep.num_shards} shard(s) [{rep.backend}] x "
+              f"{rep.num_clients} client(s), frames of {rep.frame_records}")
+        print(f"graph per client: n={rep.graph_n} m={rep.graph_m}  "
+              f"algorithm={rep.algorithm}")
+        print(f"ops: {rep.num_ops} ({rep.num_queries} queries, {rep.num_updates} "
+              f"updates, {rep.num_query_items} query items) in {rep.wall_s:.3f}s "
+              f"-> {rep.throughput_ops_s:,.0f} ops/s")
+        print(f"frame latency us: p50={rep.frame_p50_us:.1f} "
+              f"p95={rep.frame_p95_us:.1f} p99={rep.frame_p99_us:.1f}; "
+              f"per-item p50={rep.query_item_p50_us:.2f}")
+        for shard, row in enumerate(rep.per_shard):
+            print(f"  shard {shard}: {row['queries']} queries, {row['updates']} "
+                  f"updates, {row['rebuilds']} rebuilds, "
+                  f"hit rate {row['cache_hit_rate']:.1%}")
+        for tenant, row in sorted(rep.tenants.items()):
+            print(f"  tenant {tenant}: admitted={row['admitted']} "
+                  f"rejected={row['rejected']} items={row['items']} "
+                  f"graphs={row['graphs']} evictions={row['evictions']}")
+        if rep.verified is not None:
+            print(f"verified against single-engine replay: {rep.verified} "
+                  f"({rep.mismatches} mismatches)")
+        if rep.clean_shutdown is not None:
+            print(f"shutdown: clean={rep.clean_shutdown} "
+                  f"leaked_segments={rep.leaked_segments}")
+        if trace_sink is not None:
+            print(f"chrome trace written to {args.trace} "
+                  f"({len(trace_sink.events)} events, "
+                  f"{len(trace_sink.worker_tracks())} shard tracks)")
+    if args.verify and rep.mismatches:
+        raise SystemExit(
+            f"cluster run: {rep.mismatches} routed answers disagreed with "
+            f"single-engine replay"
+        )
+    if rep.clean_shutdown is False:
+        raise SystemExit(
+            f"cluster run: unclean shutdown ({rep.leaked_segments} leaked "
+            f"shared-memory segments)"
+        )
+    return 0
+
+
+def cmd_cluster_serve(args) -> int:
+    from .cluster import serve
+
+    lines = open(args.input, encoding="utf-8") if args.input else sys.stdin
+    try:
+        handled = serve(
+            lines,
+            sys.stdout,
+            num_shards=args.shards,
+            backend=args.backend,
+            algorithm=args.algorithm,
+            cache_size=args.cache_size,
+            tenant_graph_budget=args.tenant_graph_budget,
+            tenant_batch_quota=args.tenant_batch_quota,
+        )
+    finally:
+        if args.input:
+            lines.close()
+    print(f"served {handled} request(s)", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -502,6 +605,64 @@ def main(argv=None) -> int:
     pr.add_argument("--json", action="store_true",
                     help="emit the full report as JSON")
     pr.set_defaults(fn=cmd_workload_run)
+
+    p = sub.add_parser(
+        "cluster",
+        help="sharded multi-tenant front-end over engine workers (repro.cluster)",
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def _cluster_common(cp):
+        cp.add_argument("--shards", type=int, default=2,
+                        help="number of shard engines (default 2)")
+        cp.add_argument("--backend", choices=("serial", "processes"),
+                        default="serial",
+                        help="shard hosting: in-process engines (serial, "
+                             "1-core CI) or forked workers with shared-memory "
+                             "graphs (processes)")
+        cp.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                        default="tv-filter")
+        cp.add_argument("--cache-size", type=int, default=8,
+                        help="per-shard LRU size of the index cache")
+
+    cr = csub.add_parser("run", help="seeded multi-client driver run")
+    _cluster_common(cr)
+    cr.add_argument("--clients", type=int, default=2,
+                    help="concurrent driver clients, one graph/tenant each")
+    cr.add_argument("--ops", type=int, default=1000,
+                    help="operations per client")
+    cr.add_argument("--n", type=int, default=1000,
+                    help="vertex count of each client's instance")
+    cr.add_argument("--m", type=int, default=0,
+                    help="edge count (default: n * round(log2 n))")
+    cr.add_argument("--family", default="connected-gnm",
+                    help="generator family for client instances")
+    cr.add_argument("--seed", type=int, default=0)
+    cr.add_argument("--batch", type=int, default=1,
+                    help="items per batched query op (see workload gen)")
+    cr.add_argument("--frame", type=int, default=16,
+                    help="records per routed frame (scatter/gather unit)")
+    cr.add_argument("--update-frac", type=float, default=0.1,
+                    help="fraction of ops that are batch updates")
+    cr.add_argument("--verify", action="store_true",
+                    help="replay every client stream on a single engine and "
+                         "fail on any element-wise answer difference")
+    cr.add_argument("--trace", default=None, metavar="FILE",
+                    help="write a chrome://tracing timeline (route/scatter/"
+                         "gather spans plus per-shard tracks)")
+    cr.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON")
+    cr.set_defaults(fn=cmd_cluster_run)
+
+    cs = csub.add_parser("serve", help="JSON-lines request loop on stdin/stdout")
+    _cluster_common(cs)
+    cs.add_argument("--input", default=None,
+                    help="read requests from this file instead of stdin")
+    cs.add_argument("--tenant-graph-budget", type=int, default=None,
+                    help="max resident graphs per tenant (LRU-evicted)")
+    cs.add_argument("--tenant-batch-quota", type=int, default=None,
+                    help="max query/update items per tenant per batch")
+    cs.set_defaults(fn=cmd_cluster_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

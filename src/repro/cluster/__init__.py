@@ -1,0 +1,39 @@
+"""repro.cluster: sharded multi-tenant front-end for the BCC service.
+
+The scale-out layer over :mod:`repro.service`: a :class:`ShardRouter`
+hash-partitions named graphs across N shard engines (in-process for CI,
+forked workers with shared-memory graph payloads for real parallelism),
+scatters record batches into per-shard frames, and gathers answers back
+bit-identical to a single-engine run.  :func:`run_cluster_workload`
+drives it with seeded concurrent clients; :func:`serve` exposes it as a
+JSON-lines loop.
+
+See ``docs/cluster.md`` for the architecture tour.
+"""
+
+from .backend import BACKENDS, InProcessBackend, ProcessBackend, make_backend
+from .driver import ClusterReport, client_workload, run_cluster_workload
+from .frames import Frame, split_records, strip_routing
+from .partition import shard_of, spread
+from .router import DEFAULT_TENANT, ClusterStats, Rejected, ShardRouter
+from .serve import serve
+
+__all__ = [
+    "BACKENDS",
+    "InProcessBackend",
+    "ProcessBackend",
+    "make_backend",
+    "ClusterReport",
+    "client_workload",
+    "run_cluster_workload",
+    "Frame",
+    "split_records",
+    "strip_routing",
+    "shard_of",
+    "spread",
+    "DEFAULT_TENANT",
+    "ClusterStats",
+    "Rejected",
+    "ShardRouter",
+    "serve",
+]

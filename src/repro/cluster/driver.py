@@ -1,0 +1,308 @@
+"""Seeded multi-client driver: replay workloads against the router.
+
+Scales the single-engine driver of :mod:`repro.service.driver` out to a
+cluster: ``num_clients`` concurrent client threads each replay a seeded
+:class:`~repro.service.workload.Workload` (the same JSON-lines op
+schema) against one shared :class:`~repro.cluster.router.ShardRouter`,
+issuing records in frames of ``frame_records`` per
+:meth:`~repro.cluster.router.ShardRouter.apply_batch` call.
+
+Client ``i`` owns graph ``g{i}`` under tenant ``t{i}`` and derives its
+op stream deterministically from the base spec (seed offset per
+client), so the run is reproducible end to end: same spec, same shard
+count, same client count → bit-identical answers, regardless of thread
+interleaving (each client's graphs are disjoint, so cross-client timing
+can only move cache evictions, never answers).
+
+``verify=True`` is the cluster's oracle mode: after the concurrent run,
+every client's op stream is replayed *in order* against a fresh
+single-process :class:`~repro.service.engine.ServiceEngine` and every
+answer is compared element-wise — Python types for point ops, dtype +
+value for the numpy batch answers.  A mismatch anywhere means the
+routing layer changed an answer; the report carries the count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..service.driver import _per_item_ns, _percentiles
+from ..service.engine import ServiceEngine
+from ..service.workload import (
+    Workload,
+    WorkloadSpec,
+    generate_workload,
+    instance_graph,
+    op_item_count,
+)
+from .frames import strip_routing
+from .router import Rejected, ShardRouter
+
+__all__ = ["ClusterReport", "client_workload", "run_cluster_workload"]
+
+#: Seed stride between client op streams (any fixed odd prime works; it
+#: only needs to keep per-client streams distinct and reproducible).
+CLIENT_SEED_STRIDE = 7919
+
+
+def answers_identical(kind: str, routed, reference) -> int:
+    """Item-wise mismatch count between a routed and a reference answer.
+
+    Strict: numpy answers must match in dtype *and* value; point answers
+    must be the same Python value (``None`` handled).  A
+    :class:`Rejected` marker counts every item as mismatched — oracle
+    runs are expected to run un-throttled.
+    """
+    items = 1
+    if isinstance(reference, np.ndarray):
+        items = int(reference.size)
+    elif isinstance(reference, dict):
+        items = int(len(next(iter(reference.values()))) if reference else 0)
+    if isinstance(routed, Rejected):
+        return max(1, items)
+    if isinstance(reference, np.ndarray):
+        if not isinstance(routed, np.ndarray) or routed.dtype != reference.dtype:
+            return max(1, items)
+        return int(np.sum(routed != reference))
+    if isinstance(reference, dict):
+        bad = 0
+        for key, ref in reference.items():
+            got = routed.get(key) if isinstance(routed, dict) else None
+            if (
+                not isinstance(got, np.ndarray)
+                or got.dtype != np.asarray(ref).dtype
+                or got.shape != np.asarray(ref).shape
+            ):
+                return max(1, items)
+            bad = max(bad, int(np.sum(got != ref)))
+        return bad
+    return int(routed != reference or type(routed) is not type(reference))
+
+
+@dataclass
+class ClusterReport:
+    """Measured outcome of one multi-client cluster run."""
+
+    num_shards: int
+    num_clients: int
+    backend: str
+    frame_records: int
+    graph_n: int
+    graph_m: int
+    num_ops: int
+    num_queries: int
+    num_updates: int
+    num_query_items: int
+    algorithm: str
+    wall_s: float
+    throughput_ops_s: float
+    throughput_items_s: float
+    #: per-record and amortized per-item latency percentiles over all
+    #: query records, measured per router frame and split over items
+    query_p50_us: float = 0.0
+    query_p95_us: float = 0.0
+    query_p99_us: float = 0.0
+    query_item_p50_us: float = 0.0
+    query_item_p95_us: float = 0.0
+    query_item_p99_us: float = 0.0
+    #: frame-level percentiles (one router round-trip per frame)
+    frame_p50_us: float = 0.0
+    frame_p95_us: float = 0.0
+    frame_p99_us: float = 0.0
+    per_shard: list = field(default_factory=list)
+    tenants: dict = field(default_factory=dict)
+    rejected: int = 0
+    verified: bool | None = None
+    mismatches: int = 0
+    clean_shutdown: bool | None = None
+    leaked_segments: int = 0
+
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+def client_workload(spec: WorkloadSpec, client: int) -> Workload:
+    """Client ``i``'s deterministic workload: seeded offsets of the base.
+
+    The op stream *and* the graph instance get per-client seeds; every
+    record is stamped with the client's graph name (``g{i}``) and tenant
+    (``t{i}``), the routing keys the cluster schema adds to the service
+    op schema.
+    """
+    graph_spec = dict(spec.graph) if spec.graph else None
+    if graph_spec is not None and "path" not in graph_spec:
+        graph_spec["seed"] = int(graph_spec.get("seed", 0)) + client
+    cspec = replace(
+        spec,
+        seed=spec.seed + CLIENT_SEED_STRIDE * client,
+        tenant=f"t{client}",
+        graph=graph_spec,
+    )
+    workload = generate_workload(cspec)
+    for record in workload.ops:
+        record["graph"] = f"g{client}"
+    return workload
+
+
+def _run_client(router, workload, frame_records, sink):
+    """Replay one client's ops in frames; record latencies and answers."""
+    ops = workload.ops
+    answers = []
+    frames_ns = []
+    frame_items = []
+    frame_kinds = []
+    for start in range(0, len(ops), frame_records):
+        chunk = ops[start : start + frame_records]
+        t0 = time.perf_counter_ns()
+        out = router.apply_batch(chunk)
+        t1 = time.perf_counter_ns()
+        answers.extend(out)
+        frames_ns.append(t1 - t0)
+        frame_items.append(sum(op_item_count(op) for op in chunk))
+        frame_kinds.append([op["op"] for op in chunk])
+    sink["answers"] = answers
+    sink["frames_ns"] = frames_ns
+    sink["frame_items"] = frame_items
+    sink["frame_kinds"] = frame_kinds
+
+
+def run_cluster_workload(
+    spec: WorkloadSpec,
+    num_shards: int = 2,
+    num_clients: int = 2,
+    backend: str = "serial",
+    frame_records: int = 16,
+    algorithm: str = "tv-filter",
+    cache_size: int = 8,
+    verify: bool = False,
+    router: ShardRouter | None = None,
+    telemetry=None,
+) -> ClusterReport:
+    """Run ``num_clients`` concurrent replays of ``spec`` on a cluster.
+
+    Builds (or reuses) a router with ``num_shards`` shards on
+    ``backend``, loads one graph per client, fires the client threads,
+    and measures throughput plus per-record / amortized per-item latency
+    percentiles.  With ``verify=True`` every routed answer is replayed
+    against a per-client single :class:`ServiceEngine` oracle and the
+    element-wise mismatch count is reported (and must be 0 for a correct
+    router).  The router is closed before returning (even on error)
+    unless the caller passed one in; after closing an owned process
+    backend, the report records whether shutdown was clean (workers
+    joined, no shared-memory segments leaked).
+    """
+    if frame_records < 1:
+        raise ValueError(f"frame_records must be >= 1, got {frame_records}")
+    owned = router is None
+    if owned:
+        router = ShardRouter(
+            num_shards=num_shards,
+            backend=backend,
+            algorithm=algorithm,
+            cache_size=cache_size,
+            telemetry=telemetry,
+        )
+    try:
+        workloads = [client_workload(spec, i) for i in range(num_clients)]
+        graphs = [instance_graph(w.spec) for w in workloads]
+        for i, graph in enumerate(graphs):
+            router.put_graph(f"g{i}", graph, tenant=f"t{i}")
+
+        sinks = [{} for _ in range(num_clients)]
+        threads = [
+            threading.Thread(
+                target=_run_client,
+                args=(router, workloads[i], frame_records, sinks[i]),
+                name=f"cluster-client-{i}",
+            )
+            for i in range(num_clients)
+        ]
+        t0 = time.perf_counter_ns()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = (time.perf_counter_ns() - t0) / 1e9
+
+        mismatches = 0
+        if verify:
+            for i, workload in enumerate(workloads):
+                oracle = ServiceEngine(algorithm=algorithm, cache_size=cache_size)
+                oracle.put_graph(f"g{i}", graphs[i])
+                for record, routed in zip(workload.ops, sinks[i]["answers"]):
+                    expected = oracle.apply(f"g{i}", strip_routing(record))
+                    mismatches += answers_identical(record["op"], routed, expected)
+
+        stats = router.stats()
+    finally:
+        if owned:
+            router.close()
+
+    clean = None
+    leaked = 0
+    if owned and backend == "processes":
+        clean = router.backend.workers_joined() and router.backend.live_segments == 0
+        leaked = router.backend.live_segments
+    elif owned:
+        clean = True
+
+    num_ops = sum(len(w.ops) for w in workloads)
+    num_queries = sum(w.num_queries for w in workloads)
+    num_updates = sum(w.num_updates for w in workloads)
+    num_query_items = sum(w.num_query_items for w in workloads)
+    rejected = sum(
+        1 for sink in sinks for a in sink["answers"] if isinstance(a, Rejected)
+    )
+
+    # frame latencies, split per item for the amortized view; query-only
+    # record spans are not separable inside a mixed frame, so the
+    # per-record percentiles are over *frames of records* — comparable
+    # across configurations at fixed frame_records
+    all_frames = [ns for sink in sinks for ns in sink["frames_ns"]]
+    all_items = [k for sink in sinks for k in sink["frame_items"]]
+    frame_pct = _percentiles(all_frames)
+    item_ns = _per_item_ns(all_frames, all_items)
+    item_pct = _percentiles(item_ns)
+    per_rec = _per_item_ns(
+        all_frames, [len(kinds) for sink in sinks for kinds in sink["frame_kinds"]]
+    )
+    rec_pct = _percentiles(per_rec)
+
+    return ClusterReport(
+        num_shards=router.num_shards,
+        num_clients=num_clients,
+        backend=router.backend_name,
+        frame_records=frame_records,
+        graph_n=graphs[0].n if graphs else 0,
+        graph_m=graphs[0].m if graphs else 0,
+        num_ops=num_ops,
+        num_queries=num_queries,
+        num_updates=num_updates,
+        num_query_items=num_query_items,
+        algorithm=algorithm,
+        wall_s=wall,
+        throughput_ops_s=num_ops / wall if wall > 0 else 0.0,
+        throughput_items_s=(num_query_items + num_updates) / wall if wall > 0 else 0.0,
+        query_p50_us=rec_pct["p50_us"],
+        query_p95_us=rec_pct["p95_us"],
+        query_p99_us=rec_pct["p99_us"],
+        query_item_p50_us=item_pct["p50_us"],
+        query_item_p95_us=item_pct["p95_us"],
+        query_item_p99_us=item_pct["p99_us"],
+        frame_p50_us=frame_pct["p50_us"],
+        frame_p95_us=frame_pct["p95_us"],
+        frame_p99_us=frame_pct["p99_us"],
+        per_shard=stats.per_shard,
+        tenants=stats.tenants,
+        rejected=rejected,
+        verified=(mismatches == 0) if verify else None,
+        mismatches=mismatches,
+        clean_shutdown=clean,
+        leaked_segments=leaked,
+    )

@@ -1,0 +1,174 @@
+"""Request framing: per-shard sub-batches with a stable item order.
+
+A batch of workload records (the JSON-lines op schema of
+:mod:`repro.service.workload`, each record optionally carrying ``graph``
+and ``tenant`` routing keys) is *scattered* into one frame per shard and
+the answers are *gathered* back into the original record order.  Each
+frame entry keeps the record's global sequence number, so the gather is
+a plain placement — no sorting, no reliance on backend completion order.
+
+The module also defines the fixed-width answer codec the process backend
+uses to return results through shared memory instead of pickles: every
+record's answer occupies ``answer_slots(record)`` consecutive rows of an
+``int64[total, 2]`` buffer (one row per query item, two columns so
+``classify_edges`` fits).  :func:`decode_answer` reproduces the exact
+Python/numpy types :meth:`repro.service.engine.ServiceEngine.apply`
+returns, which is what makes routed answers bit-comparable to a
+single-engine run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..service.engine import QUERY_OPS, UPDATE_OPS
+from ..service.workload import op_item_count
+from .partition import shard_of
+
+__all__ = [
+    "ROUTING_KEYS",
+    "Frame",
+    "strip_routing",
+    "split_records",
+    "answer_slots",
+    "encode_answer",
+    "decode_answer",
+    "gather",
+]
+
+#: Record keys that address the cluster rather than the engine; they are
+#: stripped before a record reaches a shard's :class:`ServiceEngine`.
+ROUTING_KEYS = ("graph", "tenant", "seq")
+
+#: Ops answered by a scalar (one slot); everything else is per-item.
+_SCALAR_BOOL = ("same_bcc", "is_articulation", "is_bridge")
+_MANY_BOOL = ("same_bcc_many", "is_articulation_many", "is_bridge_many")
+
+
+def strip_routing(record: dict) -> dict:
+    """The engine-facing op dict: the record minus cluster routing keys."""
+    return {k: v for k, v in record.items() if k not in ROUTING_KEYS}
+
+
+@dataclass
+class Frame:
+    """One shard's slice of a scattered batch, in arrival order."""
+
+    shard: int
+    #: global sequence number of each record in the originating batch
+    seqs: list = field(default_factory=list)
+    #: graph name each record addresses (routing already resolved)
+    graphs: list = field(default_factory=list)
+    #: engine-facing op dicts (routing keys stripped)
+    ops: list = field(default_factory=list)
+    #: row offset of each record's answer in the shared answer buffer
+    offsets: list = field(default_factory=list)
+
+    def append(self, seq: int, graph: str, op: dict, offset: int) -> None:
+        self.seqs.append(seq)
+        self.graphs.append(graph)
+        self.ops.append(op)
+        self.offsets.append(offset)
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+
+def answer_slots(op: dict) -> int:
+    """Rows of the answer buffer one record needs (>= 0; 0 = empty batch)."""
+    kind = op["op"]
+    if kind in QUERY_OPS or kind in UPDATE_OPS:
+        return 1
+    return op_item_count(op)
+
+
+def split_records(
+    records, num_shards: int, default_graph: str = "g0"
+) -> tuple[dict, int]:
+    """Scatter a record batch into per-shard frames.
+
+    Returns ``(frames, total_slots)`` where ``frames`` maps shard id to
+    its :class:`Frame` (only shards that received work appear) and
+    ``total_slots`` sizes the flat answer buffer.  Sequence numbers are
+    the record's position in ``records``; answer offsets are assigned in
+    that same order, so the buffer layout is independent of the shard
+    split — a one-shard cluster and an eight-shard cluster produce the
+    identical buffer.
+    """
+    frames: dict[int, Frame] = {}
+    offset = 0
+    for seq, record in enumerate(records):
+        graph = record.get("graph", default_graph)
+        shard = shard_of(graph, num_shards)
+        frame = frames.get(shard)
+        if frame is None:
+            frame = frames[shard] = Frame(shard)
+        frame.append(seq, graph, strip_routing(record), offset)
+        offset += answer_slots(record)
+    return frames, offset
+
+
+def encode_answer(kind: str, answer, out: np.ndarray) -> None:
+    """Write one engine answer into its ``int64[slots, 2]`` buffer rows."""
+    if kind in _SCALAR_BOOL:
+        out[0, 0] = 1 if answer else 0
+    elif kind == "component_of_edge":
+        out[0, 0] = -1 if answer is None else int(answer)
+    elif kind == "num_components" or kind in UPDATE_OPS:
+        out[0, 0] = int(answer)
+    elif kind in _MANY_BOOL:
+        out[:, 0] = np.asarray(answer, dtype=np.int64)
+    elif kind == "component_of_edge_many":
+        out[:, 0] = np.asarray(answer, dtype=np.int64)
+    elif kind == "classify_edges":
+        out[:, 0] = np.asarray(answer["block"], dtype=np.int64)
+        out[:, 1] = np.asarray(answer["is_bridge"], dtype=np.int64)
+    else:
+        raise ValueError(f"unknown op kind {kind!r}")
+
+
+def decode_answer(kind: str, rows: np.ndarray):
+    """Reconstruct the engine-typed answer from its buffer rows.
+
+    Types match :meth:`ServiceEngine.apply` exactly: Python ``bool`` /
+    ``int`` / ``None`` for point ops, ``bool``/``int64`` numpy arrays
+    for batched ops, the two-array dict for ``classify_edges``.
+    """
+    if kind in _SCALAR_BOOL:
+        return bool(rows[0, 0])
+    if kind == "component_of_edge":
+        val = int(rows[0, 0])
+        return None if val < 0 else val
+    if kind == "num_components" or kind in UPDATE_OPS:
+        return int(rows[0, 0])
+    if kind in _MANY_BOOL:
+        return rows[:, 0] != 0
+    if kind == "component_of_edge_many":
+        return rows[:, 0].astype(np.int64, copy=True)
+    if kind == "classify_edges":
+        return {
+            "block": rows[:, 0].astype(np.int64, copy=True),
+            "is_bridge": rows[:, 1] != 0,
+        }
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+def gather(frames: dict, answers_by_seq: dict, total: int) -> list:
+    """Reassemble per-shard answers into original batch order.
+
+    ``answers_by_seq`` maps sequence number to answer; any sequence a
+    backend failed to answer surfaces as an explicit ``KeyError`` rather
+    than a silently shifted list.
+    """
+    out = []
+    for seq in range(total):
+        try:
+            out.append(answers_by_seq[seq])
+        except KeyError:
+            raise KeyError(
+                f"no answer for record {seq} (shards answered "
+                f"{sorted(len(f) for f in frames.values())} records)"
+            ) from None
+    return out

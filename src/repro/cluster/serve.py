@@ -1,0 +1,132 @@
+"""JSON-lines serve loop: a stdin/stdout front door for the cluster.
+
+``python -m repro cluster serve`` reads one JSON object per line and
+writes one JSON answer line per request, so the cluster can be driven by
+anything that can pipe text — shell scripts, other languages, a socket
+wrapper.  The protocol is deliberately the workload op schema plus a few
+control verbs, all dispatched on the ``"op"`` key:
+
+``{"op": "put_graph", "name": ..., "family": ..., "n": ..., "m": ...,``
+``"seed": ..., "tenant": ...}``
+    Generate and place a named graph (any :data:`GRAPH_FAMILIES` family).
+
+``{"op": "remove_graph", "name": ...}``
+    Drop a graph from its shard.
+
+``{"op": "stats"}``
+    Router + per-shard engine counters.
+
+``{"op": "shutdown"}``
+    Close the router and end the loop.
+
+Anything else is treated as a workload record (optionally carrying
+``graph``/``tenant`` routing keys) and routed via
+:meth:`ShardRouter.apply`.  Answers are JSON-safe: numpy arrays become
+lists, ``classify_edges`` becomes a dict of lists, admission rejections
+become ``{"rejected": ..., "tenant": ..., "reason": ...}``, and errors
+come back as ``{"error": ..., "type": ...}`` lines instead of killing
+the loop.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..service.store import GRAPH_FAMILIES
+from .router import Rejected, ShardRouter
+
+__all__ = ["jsonify_answer", "serve_request", "serve"]
+
+
+def jsonify_answer(answer):
+    """Engine/router answer → JSON-serializable value."""
+    if isinstance(answer, Rejected):
+        return {"rejected": True, "tenant": answer.tenant, "reason": answer.reason}
+    if isinstance(answer, np.ndarray):
+        return answer.tolist()
+    if isinstance(answer, dict):
+        return {k: jsonify_answer(v) for k, v in answer.items()}
+    if isinstance(answer, (np.bool_, np.integer)):
+        return answer.item()
+    return answer
+
+
+def serve_request(router: ShardRouter, request: dict):
+    """Handle one parsed request; returns ``(response, keep_going)``."""
+    kind = request.get("op")
+    if kind == "put_graph":
+        family = request.get("family", "connected-gnm")
+        if family not in GRAPH_FAMILIES:
+            raise ValueError(
+                f"unknown family {family!r}; choose from {sorted(GRAPH_FAMILIES)}"
+            )
+        graph = GRAPH_FAMILIES[family](
+            int(request.get("n", 64)),
+            int(request.get("m", 128)),
+            int(request.get("seed", 0)),
+        )
+        shard = router.put_graph(
+            request["name"], graph, tenant=request.get("tenant")
+        )
+        return {"ok": True, "name": request["name"], "shard": shard,
+                "n": graph.n, "m": graph.m}, True
+    if kind == "remove_graph":
+        router.remove_graph(request["name"])
+        return {"ok": True, "name": request["name"]}, True
+    if kind == "stats":
+        return router.stats().as_dict(), True
+    if kind == "shutdown":
+        return {"ok": True, "shutdown": True}, False
+    return {"answer": jsonify_answer(router.apply(request))}, True
+
+
+def serve(
+    lines,
+    out,
+    num_shards: int = 2,
+    backend: str = "serial",
+    algorithm: str = "tv-filter",
+    cache_size: int = 8,
+    tenant_graph_budget: int | None = None,
+    tenant_batch_quota: int | None = None,
+    telemetry=None,
+) -> int:
+    """Run the serve loop over ``lines``, writing answers to ``out``.
+
+    Returns the number of requests handled.  The router is always closed
+    on the way out — EOF, ``shutdown``, or an unexpected error all
+    release shard workers and shared memory.
+    """
+    handled = 0
+    with ShardRouter(
+        num_shards=num_shards,
+        backend=backend,
+        algorithm=algorithm,
+        cache_size=cache_size,
+        telemetry=telemetry,
+        tenant_graph_budget=tenant_graph_budget,
+        tenant_batch_quota=tenant_batch_quota,
+    ) as router:
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                response, keep_going = serve_request(router, request)
+            except Exception as exc:  # keep serving: errors are responses
+                response, keep_going = (
+                    {"error": str(exc), "type": type(exc).__name__},
+                    True,
+                )
+            handled += 1
+            out.write(json.dumps(response) + "\n")
+            if hasattr(out, "flush"):
+                out.flush()
+            if not keep_going:
+                break
+    return handled

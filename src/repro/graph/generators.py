@@ -42,6 +42,7 @@ __all__ = [
     "block_graph",
     "paper_instance",
     "rmat_graph",
+    "barabasi_albert",
     "geometric_graph",
 ]
 
@@ -349,6 +350,50 @@ def rmat_graph(
         v += (right | both).astype(np.int64)
         u += (down | both).astype(np.int64)
     return Graph(n, u, v, normalize=True)
+
+
+def barabasi_albert(n: int, k: int = 2, seed=0) -> Graph:
+    """Barabási–Albert preferential-attachment graph (n vertices, k edges
+    per arriving vertex).
+
+    Grows from a ``k``-vertex seed clique-less core: each new vertex
+    attaches to ``k`` targets drawn proportionally to current degree,
+    implemented with the classic *repeated-nodes* trick — every edge
+    endpoint is appended to a pool, and sampling uniformly from the pool
+    is exactly degree-proportional sampling.  Within one arrival the k
+    targets are deduplicated (resampled), so the result has no parallel
+    edges; the graph is connected by construction, giving a scale-free
+    counterpart to :func:`rmat_graph` whose hub-and-spoke structure
+    stresses articulation-point detection (hubs are overwhelmingly
+    likely to be cut vertices).
+
+    Realized edge count is ``(n - k) * min(k, arrivals so far)``, i.e.
+    ``~ k * n`` for n >> k.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k >= n:
+        raise ValueError(f"k must be < n, got k={k}, n={n}")
+    rng = _rng(seed)
+    us: list[int] = []
+    vs: list[int] = []
+    # degree-proportional sampling pool (repeated-nodes method); seeded so
+    # the first arrival has someone to attach to
+    pool: list[int] = list(range(k))
+    for w in range(k, n):
+        # sample k distinct targets by current degree (uniform over pool)
+        targets: set[int] = set()
+        want = min(k, len(set(pool)))
+        while len(targets) < want:
+            targets.add(pool[int(rng.integers(0, len(pool)))])
+        for t in sorted(targets):
+            us.append(t)
+            vs.append(w)
+            pool.append(t)
+            pool.append(w)
+    return Graph(n, us, vs, normalize=True)
 
 
 def geometric_graph(n: int, radius: float, seed=0) -> Graph:

@@ -158,6 +158,8 @@ def named_corpus() -> list[tuple[str, Graph]]:
         ("gnm-connected", gen.random_connected_gnm(80, 200, seed=7)),
         ("gnm-dense", gen.dense_gnm(18, 0.7, seed=8)),
         ("rmat-small", gen.rmat_graph(5, edge_factor=4.0, seed=9)),
+        ("ba-hubs", gen.barabasi_albert(48, k=2, seed=12)),
+        ("ba-tree", gen.barabasi_albert(32, k=1, seed=13)),
         # hand-built multi-block shapes
         ("theta", Graph(6, [0, 1, 2, 0, 4, 5, 0], [1, 2, 3, 4, 5, 3, 3])),
         ("two-triangles-bridge",
@@ -180,7 +182,7 @@ def named_corpus() -> list[tuple[str, Graph]]:
 #: Weighted family mix for :func:`random_graph` — biased toward the
 #: shapes where labeling bugs historically hide.
 _FAMILIES = (
-    ("gnm", 0.22),
+    ("gnm", 0.17),
     ("connected-gnm", 0.18),
     ("tree", 0.08),
     ("block-graph", 0.14),
@@ -189,6 +191,7 @@ _FAMILIES = (
     ("star", 0.05),
     ("path", 0.05),
     ("dense", 0.06),
+    ("barabasi-albert", 0.05),
     ("union", 0.06),
 )
 
@@ -225,6 +228,9 @@ def random_graph(rng: np.random.Generator, max_n: int = 64) -> tuple[str, Graph]
     if family == "dense":
         nn = max(4, min(n, 24))
         return family, gen.dense_gnm(nn, float(rng.uniform(0.5, 1.0)), seed=seed)
+    if family == "barabasi-albert":
+        k = int(rng.integers(1, min(4, n)))
+        return family, gen.barabasi_albert(n, k=k, seed=seed)
     # union of two smaller random pieces
     _, a = random_graph(rng, max_n=max(3, max_n // 2))
     _, b = random_graph(rng, max_n=max(3, max_n // 2))

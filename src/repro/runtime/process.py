@@ -47,9 +47,11 @@ worker) and can be overridden with ``REPRO_RUNTIME_START``.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 import time
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 from typing import Callable, Dict, Tuple
 
@@ -58,6 +60,32 @@ import numpy as np
 from .team import Team, _default_grain, block_range, raise_aggregate
 
 __all__ = ["ProcessTeam"]
+
+#: Teams created but not yet closed, for the interpreter-exit sweep.
+_LIVE_TEAMS: "weakref.WeakSet[ProcessTeam]" = weakref.WeakSet()
+
+
+def _close_live_teams() -> None:
+    """Unlink any team a caller abandoned without ``close()``.
+
+    POSIX shared-memory segments outlive the process — a parent that
+    exits (sys.exit, uncaught exception, pytest crash) without closing
+    its teams would leak ``/dev/shm`` blocks until reboot.  Registered
+    *after* multiprocessing's import-time handler, so atexit's LIFO
+    order runs this sweep first: workers get a clean shutdown message
+    before multiprocessing starts joining children.  Forked children
+    inherit the set, so each team is closed only by the process that
+    created it (the unlinking owner).
+    """
+    for team in list(_LIVE_TEAMS):
+        if getattr(team, "_owner_pid", None) == os.getpid():
+            try:
+                team.close()
+            except Exception:  # pragma: no cover - exit path, best effort
+                pass
+
+
+atexit.register(_close_live_teams)
 
 
 class _ShmRef:
@@ -162,10 +190,12 @@ class ProcessTeam(Team):
         self._segments: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
         self._by_id: Dict[int, str] = {}
         self._shutdown = False
+        self._owner_pid = os.getpid()
         self._conns = [None] * p
         self._procs = [None] * p
         for rank in range(p):
             self._spawn(rank)
+        _LIVE_TEAMS.add(self)
 
     def _spawn(self, rank: int) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
@@ -353,6 +383,7 @@ class ProcessTeam(Team):
         if self._shutdown:
             return
         self._shutdown = True
+        _LIVE_TEAMS.discard(self)
         for conn, proc in zip(self._conns, self._procs):
             try:
                 conn.send(("close",))

@@ -309,10 +309,13 @@ class ServiceEngine:
         edge count.  The op dict uses the JSON-lines schema of
         :mod:`repro.service.workload` (``{"op": ..., ...params}`` for
         point ops, ``{"op": ..., "params": {...}}`` for batched ops).
+        Cluster routing keys (``graph``/``tenant``/``seq``) are ignored,
+        so routed records replay unchanged on a single engine.
         """
         kind = op["op"]
         if kind in QUERY_OPS:
-            params = {k: v for k, v in op.items() if k != "op"}
+            params = {k: v for k, v in op.items()
+                      if k not in ("op", "graph", "tenant", "seq")}
             return self.query(name, kind, **params)
         if kind in BATCH_OPS:
             return self.query_many(name, kind, **op.get("params", {}))

@@ -47,6 +47,10 @@ GRAPH_FAMILIES = {
     "rmat": lambda n, m, seed: gen.rmat_graph(
         max(n - 1, 1).bit_length(), edge_factor=m / max(n, 1), seed=seed
     ),
+    # m is a target edge count, mapped to the per-arrival attachment k
+    "barabasi-albert": lambda n, m, seed: gen.barabasi_albert(
+        n, k=max(1, round(m / max(n, 1))), seed=seed
+    ),
 }
 
 

@@ -156,6 +156,10 @@ class WorkloadSpec:
     #: or {"path": "..."} for a graph file.  None means the caller supplies
     #: the graph at generation/run time.
     graph: dict | None = None
+    #: Tenant stamped on every generated record (cluster routing key;
+    #: see ``repro.cluster``).  None leaves records tenant-free, which is
+    #: what the single-engine paths expect.
+    tenant: str | None = None
 
     def __post_init__(self):
         if self.num_ops < 0:
@@ -287,6 +291,9 @@ def generate_workload(spec: WorkloadSpec, graph: Graph | None = None) -> Workloa
             k = int(rng.integers(1, spec.batch_size + 1))
             ops.append({"op": kind,
                         "edges": [list(pair(edge_shaped=True)) for _ in range(k)]})
+    if spec.tenant is not None:
+        for op in ops:
+            op["tenant"] = spec.tenant
     return Workload(spec, ops)
 
 

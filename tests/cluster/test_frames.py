@@ -1,0 +1,143 @@
+"""Framing and the shared-memory answer codec."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.frames import (
+    answer_slots,
+    decode_answer,
+    encode_answer,
+    gather,
+    split_records,
+    strip_routing,
+)
+from repro.cluster.partition import shard_of
+
+
+class TestStripRouting:
+    def test_strips_only_routing_keys(self):
+        rec = {"op": "same_bcc", "u": 1, "v": 2,
+               "graph": "g0", "tenant": "t", "seq": 9}
+        assert strip_routing(rec) == {"op": "same_bcc", "u": 1, "v": 2}
+
+    def test_noop_without_routing_keys(self):
+        rec = {"op": "num_components"}
+        assert strip_routing(rec) == rec
+
+
+class TestSplitRecords:
+    RECORDS = [
+        {"op": "same_bcc", "u": 0, "v": 1, "graph": "a"},
+        {"op": "same_bcc_many", "params": {"pairs": [[0, 1], [1, 2], [2, 3]]},
+         "graph": "b"},
+        {"op": "add_edges", "edges": [[0, 1]], "graph": "a"},
+        {"op": "num_components", "graph": "c"},
+    ]
+
+    def test_frames_cover_all_records(self):
+        frames, total = split_records(self.RECORDS, 4)
+        assert sum(len(f) for f in frames.values()) == len(self.RECORDS)
+        assert total == 1 + 3 + 1 + 1
+
+    def test_offsets_are_shard_count_independent(self):
+        # same records, different shard counts -> identical buffer layout
+        layouts = []
+        for shards in (1, 2, 8):
+            frames, total = split_records(self.RECORDS, shards)
+            by_seq = {}
+            for f in frames.values():
+                for seq, offset in zip(f.seqs, f.offsets):
+                    by_seq[seq] = offset
+            layouts.append((total, by_seq))
+        assert layouts[0] == layouts[1] == layouts[2]
+
+    def test_records_land_on_their_graphs_shard(self):
+        frames, _ = split_records(self.RECORDS, 8)
+        for frame in frames.values():
+            for gname in frame.graphs:
+                assert shard_of(gname, 8) == frame.shard
+
+    def test_default_graph(self):
+        frames, _ = split_records([{"op": "num_components"}], 4,
+                                  default_graph="main")
+        (frame,) = frames.values()
+        assert frame.graphs == ["main"]
+        assert frame.shard == shard_of("main", 4)
+
+
+class TestAnswerCodec:
+    def _roundtrip(self, kind, answer, slots):
+        buf = np.zeros((max(slots, 1), 2), dtype=np.int64)
+        encode_answer(kind, answer, buf[:slots])
+        return decode_answer(kind, buf[:slots])
+
+    @pytest.mark.parametrize("kind", ["same_bcc", "is_articulation", "is_bridge"])
+    @pytest.mark.parametrize("value", [True, False])
+    def test_scalar_bool(self, kind, value):
+        out = self._roundtrip(kind, value, 1)
+        assert out is value or out == value
+        assert type(out) is bool
+
+    def test_component_of_edge_none(self):
+        assert self._roundtrip("component_of_edge", None, 1) is None
+
+    def test_component_of_edge_value(self):
+        out = self._roundtrip("component_of_edge", 7, 1)
+        assert out == 7 and type(out) is int
+
+    def test_num_components_and_updates(self):
+        assert self._roundtrip("num_components", 3, 1) == 3
+        assert self._roundtrip("add_edges", 120, 1) == 120
+        assert self._roundtrip("remove_edges", 119, 1) == 119
+
+    @pytest.mark.parametrize(
+        "kind", ["same_bcc_many", "is_articulation_many", "is_bridge_many"])
+    def test_many_bool(self, kind):
+        answer = np.array([True, False, True, True])
+        out = self._roundtrip(kind, answer, 4)
+        assert out.dtype == np.bool_
+        np.testing.assert_array_equal(out, answer)
+
+    def test_component_of_edge_many_with_sentinel(self):
+        answer = np.array([5, -1, 0], dtype=np.int64)
+        out = self._roundtrip("component_of_edge_many", answer, 3)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, answer)
+
+    def test_classify_edges(self):
+        answer = {"block": np.array([2, -1, 0], dtype=np.int64),
+                  "is_bridge": np.array([False, False, True])}
+        out = self._roundtrip("classify_edges", answer, 3)
+        assert out["block"].dtype == np.int64
+        assert out["is_bridge"].dtype == np.bool_
+        np.testing.assert_array_equal(out["block"], answer["block"])
+        np.testing.assert_array_equal(out["is_bridge"], answer["is_bridge"])
+
+    def test_decoded_arrays_own_their_data(self):
+        # decode must copy out of the (soon-released) shm buffer
+        buf = np.zeros((2, 2), dtype=np.int64)
+        encode_answer("component_of_edge_many", np.array([1, 2]), buf)
+        out = decode_answer("component_of_edge_many", buf)
+        buf[:] = 99
+        np.testing.assert_array_equal(out, [1, 2])
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            encode_answer("nope", 1, np.zeros((1, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            decode_answer("nope", np.zeros((1, 2), dtype=np.int64))
+
+    def test_answer_slots(self):
+        assert answer_slots({"op": "same_bcc", "u": 0, "v": 1}) == 1
+        assert answer_slots({"op": "add_edges", "edges": [[0, 1], [1, 2]]}) == 1
+        assert answer_slots(
+            {"op": "same_bcc_many", "params": {"pairs": [[0, 1]] * 5}}) == 5
+        assert answer_slots(
+            {"op": "is_articulation_many", "params": {"vs": [1, 2, 3]}}) == 3
+
+
+class TestGather:
+    def test_missing_seq_is_loud(self):
+        frames, _ = split_records([{"op": "num_components", "graph": "a"}], 2)
+        with pytest.raises(KeyError, match="no answer for record 0"):
+            gather(frames, {}, 1)

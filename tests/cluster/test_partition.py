@@ -1,0 +1,67 @@
+"""Hash partitioning: stability, range, balance, process-independence."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster.partition import shard_of, spread
+
+
+class TestShardOf:
+    def test_in_range(self):
+        for shards in (1, 2, 3, 7, 64):
+            for i in range(50):
+                assert 0 <= shard_of(f"graph-{i}", shards) < shards
+
+    def test_single_shard_maps_everything_to_zero(self):
+        assert all(shard_of(f"g{i}", 1) == 0 for i in range(20))
+
+    def test_deterministic_within_process(self):
+        assert shard_of("g0", 8) == shard_of("g0", 8)
+
+    def test_stable_across_processes(self):
+        # builtin hash() is PYTHONHASHSEED-salted; shard_of must not be.
+        # A fresh interpreter with a different hash seed must agree.
+        names = [f"tenant-{i}/graph-{i}" for i in range(10)]
+        here = [shard_of(name, 5) for name in names]
+        code = (
+            "from repro.cluster.partition import shard_of\n"
+            f"print([shard_of(n, 5) for n in {names!r}])\n"
+        )
+        import os
+
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [env.get("PYTHONPATH"), "src"])
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert eval(out.stdout.strip()) == here
+
+    def test_roughly_balanced(self):
+        # SHA-256 over many names should not starve any shard
+        counts = [0] * 4
+        for i in range(400):
+            counts[shard_of(f"graph-{i}", 4)] += 1
+        assert min(counts) > 50
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of("g", 0)
+
+
+class TestSpread:
+    def test_every_shard_present(self):
+        out = spread(["a", "b"], 4)
+        assert set(out) == {0, 1, 2, 3}
+
+    def test_partition_is_exact(self):
+        names = [f"g{i}" for i in range(30)]
+        out = spread(names, 3)
+        flat = [n for ns in out.values() for n in ns]
+        assert sorted(flat) == sorted(names)
+        for shard, ns in out.items():
+            assert all(shard_of(n, 3) == shard for n in ns)

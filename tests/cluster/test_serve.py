@@ -1,0 +1,95 @@
+"""JSON-lines serve loop: protocol, error handling, shutdown."""
+
+import io
+import json
+
+import numpy as np
+
+from repro.cluster.router import Rejected
+from repro.cluster.serve import jsonify_answer, serve
+
+
+def _run(lines, **kw):
+    out = io.StringIO()
+    handled = serve(lines, out, **kw)
+    docs = [json.loads(line) for line in out.getvalue().splitlines()]
+    return handled, docs
+
+
+class TestJsonify:
+    def test_numpy_and_nested(self):
+        assert jsonify_answer(np.array([True, False])) == [True, False]
+        assert jsonify_answer(
+            {"block": np.array([1, -1]), "is_bridge": np.array([False, True])}
+        ) == {"block": [1, -1], "is_bridge": [False, True]}
+        assert jsonify_answer(np.bool_(True)) is True
+        assert jsonify_answer(np.int64(7)) == 7
+        assert jsonify_answer(None) is None
+
+    def test_rejected(self):
+        doc = jsonify_answer(Rejected("acme", "batch quota exceeded"))
+        assert doc == {"rejected": True, "tenant": "acme",
+                       "reason": "batch quota exceeded"}
+
+
+class TestServe:
+    def test_full_session(self):
+        handled, docs = _run([
+            '{"op": "put_graph", "name": "g0", "family": "connected-gnm",'
+            ' "n": 40, "m": 80, "seed": 1, "tenant": "acme"}',
+            '{"op": "same_bcc", "u": 0, "v": 1, "graph": "g0"}',
+            '{"op": "same_bcc_many", "params": {"pairs": [[0, 1], [2, 3]]},'
+            ' "graph": "g0"}',
+            '{"op": "add_edges", "edges": [[0, 1]], "graph": "g0"}',
+            '{"op": "stats"}',
+            '{"op": "remove_graph", "name": "g0"}',
+            '{"op": "shutdown"}',
+        ], num_shards=2)
+        assert handled == 7
+        assert docs[0]["ok"] and docs[0]["n"] == 40
+        assert isinstance(docs[1]["answer"], bool)
+        assert isinstance(docs[2]["answer"], list)
+        assert isinstance(docs[3]["answer"], int)
+        assert docs[4]["num_shards"] == 2
+        assert "acme" in docs[4]["tenants"]
+        assert docs[5]["ok"]
+        assert docs[6]["shutdown"]
+
+    def test_shutdown_stops_loop(self):
+        handled, docs = _run([
+            '{"op": "shutdown"}',
+            '{"op": "stats"}',  # never reached
+        ])
+        assert handled == 1 and len(docs) == 1
+
+    def test_errors_are_responses_not_crashes(self):
+        handled, docs = _run([
+            "this is not json",
+            '["a", "list"]',
+            '{"op": "put_graph", "name": "x", "family": "no-such-family"}',
+            '{"op": "num_components", "graph": "ghost"}',
+            '{"op": "stats"}',
+        ])
+        assert handled == 5
+        assert docs[0]["type"] == "JSONDecodeError"
+        assert "error" in docs[1]
+        assert "unknown family" in docs[2]["error"]
+        assert docs[3]["type"] == "KeyError"
+        assert docs[4]["num_shards"] == 2  # loop survived all of it
+
+    def test_blank_lines_and_comments_skipped(self):
+        handled, docs = _run([
+            "",
+            "# a comment",
+            '{"op": "stats"}',
+        ])
+        assert handled == 1 and len(docs) == 1
+
+    def test_tenant_quota_rejection_surfaces(self):
+        handled, docs = _run([
+            '{"op": "put_graph", "name": "g0", "n": 30, "m": 60,'
+            ' "tenant": "acme"}',
+            '{"op": "num_components", "graph": "g0"}',
+        ], tenant_batch_quota=1)
+        # single-record batches each spend 1 item: admitted
+        assert docs[1]["answer"] >= 1

@@ -201,6 +201,53 @@ class TestRmat:
             assert results[0].same_partition(other)
 
 
+class TestBarabasiAlbert:
+    def test_basic_shape(self):
+        g = gen.barabasi_albert(200, k=3, seed=1)
+        assert g.n == 200
+        assert g.m == 3 * (200 - 3)  # k edges per arrival, n-k arrivals
+        assert is_simple(g)
+        assert is_connected(g)
+
+    def test_k1_is_tree(self):
+        g = gen.barabasi_albert(64, k=1, seed=2)
+        assert g.m == 63 and is_connected(g)
+
+    def test_deterministic(self):
+        assert gen.barabasi_albert(100, k=2, seed=3) == gen.barabasi_albert(100, k=2, seed=3)
+        assert gen.barabasi_albert(100, k=2, seed=3) != gen.barabasi_albert(100, k=2, seed=4)
+
+    def test_preferential_attachment_skews_degrees(self):
+        # hubs emerge: max degree far above the mean (and above any
+        # same-size uniform G(n, m) would plausibly produce)
+        g = gen.barabasi_albert(2000, k=2, seed=0)
+        deg = g.degrees()
+        assert deg.max() > 6 * deg.mean()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(1, k=1)
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(10, k=0)
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(5, k=5)
+
+    def test_bcc_algorithms_handle_ba(self):
+        from repro import ALGORITHMS, biconnected_components
+
+        g = gen.barabasi_albert(150, k=2, seed=5)
+        results = [biconnected_components(g, algorithm=a) for a in sorted(ALGORITHMS)]
+        for other in results[1:]:
+            assert results[0].same_partition(other)
+
+    def test_family_registration(self):
+        from repro.service.store import GRAPH_FAMILIES, make_graph
+
+        assert "barabasi-albert" in GRAPH_FAMILIES
+        g = make_graph("barabasi-albert", 100, m=300, seed=0)  # k = 3
+        assert g.n == 100 and g.m == 3 * 97
+
+
 class TestGeometric:
     def test_basic(self):
         g = gen.geometric_graph(300, 0.1, seed=1)

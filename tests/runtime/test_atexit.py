@@ -1,0 +1,100 @@
+"""Interpreter-exit shared-memory sweep for abandoned ProcessTeams.
+
+POSIX shm segments outlive the process: a parent that exits without
+``close()`` would leak /dev/shm blocks until reboot.  These tests run a
+child interpreter that deliberately abandons a team and assert the
+atexit hook unlinked everything.
+"""
+
+import multiprocessing as mp
+import os
+import subprocess
+import sys
+
+import pytest
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="requires fork"
+)
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="requires /dev/shm to observe leaks"
+)
+
+
+def _run_child(code: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [env.get("PYTHONPATH"), "src"])
+    )
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+
+
+def _segments_from(out: str) -> list:
+    for line in out.splitlines():
+        if line.startswith("SEGMENTS "):
+            return line.split()[1:]
+    raise AssertionError(f"child did not print SEGMENTS: {out!r}")
+
+
+def _leaked(segments) -> list:
+    return [s for s in segments if os.path.exists(f"/dev/shm/{s}")]
+
+
+@needs_fork
+@needs_dev_shm
+class TestAtexitSweep:
+    def test_abandoned_team_is_unlinked_on_exit(self):
+        out = _run_child(
+            "import numpy as np\n"
+            "from repro.runtime.process import ProcessTeam\n"
+            "team = ProcessTeam(2)\n"
+            "a = team.zeros(4096, np.int64)\n"
+            "b = team.share(np.arange(100))\n"
+            "print('SEGMENTS', *team._segments)\n"
+            "# exit WITHOUT team.close()\n"
+        )
+        assert out.returncode == 0, out.stderr
+        segments = _segments_from(out.stdout)
+        assert segments, "child allocated no segments"
+        assert _leaked(segments) == []
+
+    def test_sweep_even_on_uncaught_exception(self):
+        out = _run_child(
+            "import numpy as np\n"
+            "from repro.runtime.process import ProcessTeam\n"
+            "team = ProcessTeam(1)\n"
+            "a = team.zeros(1024, np.int64)\n"
+            "print('SEGMENTS', *team._segments, flush=True)\n"
+            "raise RuntimeError('boom')\n"
+        )
+        assert out.returncode != 0  # the exception propagated...
+        assert _leaked(_segments_from(out.stdout)) == []  # ...but no leak
+
+    def test_closed_team_not_double_closed(self):
+        out = _run_child(
+            "import numpy as np\n"
+            "from repro.runtime.process import ProcessTeam, _LIVE_TEAMS\n"
+            "team = ProcessTeam(1)\n"
+            "a = team.zeros(64, np.int64)\n"
+            "print('SEGMENTS', *team._segments)\n"
+            "team.close()\n"
+            "assert team not in _LIVE_TEAMS\n"
+            "print('CLOSED-OK')\n"
+        )
+        assert out.returncode == 0, out.stderr
+        assert "CLOSED-OK" in out.stdout
+        assert _leaked(_segments_from(out.stdout)) == []
+
+    def test_live_set_tracks_membership_in_process(self):
+        from repro.runtime.process import _LIVE_TEAMS, ProcessTeam
+
+        team = ProcessTeam(1)
+        try:
+            assert team in _LIVE_TEAMS
+        finally:
+            team.close()
+        assert team not in _LIVE_TEAMS

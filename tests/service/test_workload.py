@@ -207,6 +207,50 @@ class TestBatchedGeneration:
         assert op_item_count({"op": "add_edges", "edges": [[0, 1], [2, 3]]}) == 1
 
 
+class TestTenantStamping:
+    def test_tenant_stamped_on_every_record(self):
+        spec = WorkloadSpec(num_ops=40, seed=3, tenant="acme",
+                            graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        assert all(op["tenant"] == "acme" for op in wl.ops)
+
+    def test_no_tenant_key_by_default(self):
+        wl = generate_workload(WorkloadSpec(num_ops=40, seed=3,
+                                            graph=dict(GRAPH_SPEC)))
+        assert all("tenant" not in op for op in wl.ops)
+
+    def test_tenant_only_changes_stamp_not_stream(self):
+        plain = generate_workload(WorkloadSpec(num_ops=40, seed=3,
+                                               graph=dict(GRAPH_SPEC)))
+        stamped = generate_workload(WorkloadSpec(num_ops=40, seed=3,
+                                                 tenant="acme",
+                                                 graph=dict(GRAPH_SPEC)))
+        stripped = [{k: v for k, v in op.items() if k != "tenant"}
+                    for op in stamped.ops]
+        assert stripped == plain.ops
+
+    def test_tenant_round_trips_through_file(self, tmp_path):
+        spec = WorkloadSpec(num_ops=30, seed=4, tenant="acme",
+                            graph=dict(GRAPH_SPEC))
+        wl = generate_workload(spec)
+        path = tmp_path / "t.jsonl"
+        save_workload(wl, path)
+        back = load_workload(path)
+        assert back.spec.tenant == "acme"
+        assert back.ops == wl.ops
+
+    def test_engine_ignores_routing_keys(self):
+        # a stamped record must run unchanged on a single engine
+        from repro.service.engine import ServiceEngine
+
+        engine = ServiceEngine()
+        engine.put_graph("g", gen.random_connected_gnm(30, 60, seed=1))
+        plain = engine.apply("g", {"op": "same_bcc", "u": 0, "v": 1})
+        routed = engine.apply("g", {"op": "same_bcc", "u": 0, "v": 1,
+                                    "tenant": "acme", "graph": "g", "seq": 3})
+        assert routed == plain and type(routed) is type(plain)
+
+
 class TestInstanceGraph:
     def test_family(self):
         g = instance_graph(WorkloadSpec(graph=dict(GRAPH_SPEC)))

@@ -273,3 +273,46 @@ class TestServiceBench:
         data = json.loads((tmp_path / "results" / "BENCH_service.json").read_text())
         assert data["version"] == 2
         assert data["batch_sweep"]["rows"][0]["batch"] == 1
+
+
+class TestScaleBench:
+    def test_runner_shape_and_verification(self):
+        result = runner.run_scale_bench(
+            n=120, ops=30, shards=(1, 2), clients=(1, 2), batches=(1,),
+            verify=True)
+        rows = result["sweep"]
+        assert len(rows) == 4  # 2 shards x 2 clients x 1 batch
+        assert {(r["shards"], r["clients"]) for r in rows} == {
+            (1, 1), (1, 2), (2, 1), (2, 2)}
+        assert all(r["verified"] is True and r["mismatches"] == 0
+                   for r in rows)
+        assert all(r["clean_shutdown"] and r["leaked_segments"] == 0
+                   for r in rows)
+        assert all(r["throughput_ops_s"] > 0 for r in rows)
+        assert result["scale"]["n"] == 120
+        assert "cpu_count" in result["host"]
+
+    def test_format_scale(self):
+        from repro.bench import report
+
+        result = runner.run_scale_bench(
+            n=120, ops=20, shards=(1,), clients=(1,), batches=(1, 4),
+            verify=True)
+        text = report.format_scale(result)
+        assert "Cluster scale sweep" in text
+        assert "every configuration verified element-wise" in text
+
+    def test_cli_scale_writes_results_dir(self, tmp_path, capsys, monkeypatch):
+        from repro.bench import runner as _runner
+        from repro.bench.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "results").mkdir()
+        # shrink the grid so the CLI test stays fast
+        monkeypatch.setattr(_runner, "SCALE_SHARDS", (1, 2))
+        monkeypatch.setattr(_runner, "SCALE_CLIENTS", (1,))
+        monkeypatch.setattr(_runner, "SCALE_BATCHES", (1,))
+        assert main(["scale", "--n", "120"]) == 0
+        assert "wrote results/BENCH_scale.json" in capsys.readouterr().out
+        data = json.loads((tmp_path / "results" / "BENCH_scale.json").read_text())
+        assert all(r["verified"] for r in data["sweep"])

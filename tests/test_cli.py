@@ -442,3 +442,120 @@ class TestInfoRoundTrip:
         assert doc["bridges"] == int(res.bridges().size)
         assert doc["biconnected"] is (res.num_components == 1
                                       and res.articulation_points().size == 0)
+
+
+class TestWorkloadVerifyExit:
+    """``workload run --verify`` must exit non-zero on oracle mismatch."""
+
+    def _gen(self, tmp_path):
+        out = tmp_path / "w.jsonl"
+        assert main(["workload", "gen", str(out), "--ops", "60", "--seed", "11",
+                     "--n", "80", "--m", "240"]) == 0
+        return out
+
+    def test_mismatch_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        # forge the recompute oracle so every query's expected answer is
+        # garbage: the run must report mismatches AND exit non-zero
+        import repro.service.driver as drv
+
+        real = drv.oracle_answer
+
+        def forged(result, op):
+            answer = real(result, op)
+            if isinstance(answer, bool):
+                return not answer
+            if isinstance(answer, int):
+                return answer + 1
+            return answer
+
+        monkeypatch.setattr(drv, "oracle_answer", forged)
+        out = self._gen(tmp_path)
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workload", "run", str(out), "--verify"])
+        assert excinfo.value.code not in (0, None)
+        assert "disagreed with recompute" in str(excinfo.value)
+        assert "verified against recompute-from-scratch: False" in (
+            capsys.readouterr().out)
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        out = self._gen(tmp_path)
+        assert main(["workload", "run", str(out), "--verify"]) == 0
+
+
+class TestGenerateBarabasiAlbert:
+    def test_generate(self, tmp_path):
+        out = tmp_path / "ba.edges"
+        assert main(["generate", "barabasi-albert", str(out),
+                     "--n", "50", "--m", "100"]) == 0
+        g = read_edgelist(out)
+        assert g.n == 50 and g.m == 2 * 48  # k = round(100/50) = 2
+
+    def test_requires_m(self, tmp_path):
+        out = tmp_path / "ba.edges"
+        with pytest.raises(SystemExit, match="--m .* required"):
+            main(["generate", "barabasi-albert", str(out), "--n", "50"])
+
+
+class TestClusterCLI:
+    def test_run_human_output(self, capsys):
+        assert main(["cluster", "run", "--shards", "2", "--clients", "2",
+                     "--ops", "60", "--n", "80", "--frame", "8",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard(s) [serial] x 2 client(s)" in out
+        assert "verified against single-engine replay: True (0 mismatches)" in out
+        assert "shutdown: clean=True leaked_segments=0" in out
+
+    def test_run_json_report(self, capsys):
+        import json
+
+        assert main(["cluster", "run", "--shards", "3", "--clients", "2",
+                     "--ops", "40", "--n", "60", "--batch", "4",
+                     "--verify", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_shards"] == 3 and doc["num_clients"] == 2
+        assert doc["verified"] is True and doc["mismatches"] == 0
+        assert doc["clean_shutdown"] is True and doc["leaked_segments"] == 0
+        assert len(doc["per_shard"]) == 3
+        assert set(doc["tenants"]) == {"t0", "t1"}
+
+    def test_run_verify_failure_exits(self, monkeypatch):
+        # forge the single-engine oracle comparison to always disagree
+        monkeypatch.setattr(
+            "repro.cluster.driver.answers_identical",
+            lambda kind, routed, reference: 1,
+        )
+        with pytest.raises(SystemExit, match="disagreed with single-engine"):
+            main(["cluster", "run", "--shards", "2", "--clients", "1",
+                  "--ops", "20", "--n", "40", "--verify"])
+
+    def test_run_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["cluster", "run", "--shards", "2", "--clients", "1",
+                     "--ops", "30", "--n", "50", "--trace", str(trace)]) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        events = json.loads(trace.read_text())["traceEvents"]
+        names = {e.get("name") for e in events}
+        assert {"Cluster-route", "Cluster-scatter", "Cluster-gather"} <= names
+
+    def test_serve_from_file(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text("\n".join([
+            '{"op": "put_graph", "name": "g0", "n": 30, "m": 60, "seed": 1}',
+            '{"op": "num_components", "graph": "g0"}',
+            '{"op": "shutdown"}',
+        ]) + "\n")
+        assert main(["cluster", "serve", "--shards", "2",
+                     "--input", str(reqs)]) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.splitlines() if l.strip()]
+        import json
+
+        docs = [json.loads(l) for l in lines]
+        assert docs[0]["ok"] is True and "shard" in docs[0]
+        assert isinstance(docs[1]["answer"], int)
+        assert docs[2]["shutdown"] is True
+        assert "served 3 request(s)" in captured.err
