@@ -43,7 +43,8 @@ __all__ = [
 CUSTOM_BASE = "tv-opt"
 
 
-def _sequential_runner(g, machine=None, *, strategies=None, backend=None, p=None, **kwargs):
+def _sequential_runner(g, machine=None, *, strategies=None, backend=None, p=None,
+                       team=None, **kwargs):
     rejected = sorted(kwargs)
     if strategies is not None:
         rejected.append("strategies")
@@ -51,6 +52,8 @@ def _sequential_runner(g, machine=None, *, strategies=None, backend=None, p=None
         rejected.append("backend")
     if p is not None:
         rejected.append("p")
+    if team is not None:
+        rejected.append("team")
     if rejected:
         raise TypeError(
             f"algorithm 'sequential' accepts no algorithm options, got {rejected}"
@@ -59,7 +62,8 @@ def _sequential_runner(g, machine=None, *, strategies=None, backend=None, p=None
 
 
 def _pipeline_runner(spec_name: str, result_name: str | None = None):
-    def run(g, machine=None, *, strategies=None, backend=None, p=None, **kwargs):
+    def run(g, machine=None, *, strategies=None, backend=None, p=None,
+            team=None, **kwargs):
         return _pipeline.run_pipeline(
             g,
             spec_name,
@@ -68,6 +72,7 @@ def _pipeline_runner(spec_name: str, result_name: str | None = None):
             algorithm_name=result_name,
             backend=backend,
             p=p,
+            team=team,
             **kwargs,
         )
 
@@ -124,6 +129,7 @@ def biconnected_components(
     strategies: Mapping[str, str] | None = None,
     backend: str | None = None,
     p: int | None = None,
+    team=None,
     **kwargs,
 ) -> BCCResult:
     """Biconnected components of ``g``.
@@ -154,6 +160,11 @@ def biconnected_components(
     p:
         Worker count for real backends (defaults to ``machine.p`` when a
         machine is given, else 1).
+    team:
+        A caller-owned :class:`~repro.runtime.team.Team` to execute on
+        as-is (instead of creating one per run) — what long-lived callers
+        like the service layer's background rebuild scheduler use.  The
+        caller keeps ownership; ``"sequential"`` rejects it.
     kwargs:
         Strategy knobs (``lowhigh_method``, ``list_ranking``,
         ``fallback_ratio``, ...).  Unknown knobs raise ``TypeError``.
@@ -164,7 +175,8 @@ def biconnected_components(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         ) from None
-    return fn(g, machine, strategies=strategies, backend=backend, p=p, **kwargs)
+    return fn(g, machine, strategies=strategies, backend=backend, p=p,
+              team=team, **kwargs)
 
 
 def articulation_points(

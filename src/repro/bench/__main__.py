@@ -18,9 +18,10 @@ The abl-* experiments enumerate the stage/strategy registry
   pathological  §4: chain (d = O(n)) vs random (small d)
   dense         Woo–Sahni regime: 70%/90% of K_n
   service       query-service workload: throughput, latency percentiles,
-                cache behaviour, plus a batch-size sweep of the vectorized
-                bulk query path (repro.service; see docs/service.md);
-                writes results/BENCH_service.json (v2)
+                cache behaviour, a batch-size sweep of the vectorized
+                bulk query path, and a sync-vs-async index-maintenance
+                tail-latency comparison (repro.service; see
+                docs/service.md); writes results/BENCH_service.json (v3)
   runtime       execution backends: kernel + end-to-end wall-clock across
                 serial/threads/processes at p in {1,2,4} (docs/runtime.md);
                 writes results/BENCH_runtime.json
@@ -165,7 +166,10 @@ def _service(args):
     _emit(report.format_service(rep), args)
     sweep = runner.run_service_batch_sweep(n=args.n, seed=args.seed)
     _emit(report.format_service_sweep(sweep), args)
-    result = {"version": 2, "workload": rep.as_dict(), "batch_sweep": sweep}
+    tail = runner.run_service_tail_bench(n=args.n, seed=args.seed)
+    _emit(report.format_service_tail(tail), args)
+    result = {"version": 3, "workload": rep.as_dict(), "batch_sweep": sweep,
+              "tail_latency": tail}
     import os
 
     if os.path.isdir("results"):

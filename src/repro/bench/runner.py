@@ -56,6 +56,7 @@ __all__ = [
     "run_dense",
     "run_service_bench",
     "run_service_batch_sweep",
+    "run_service_tail_bench",
     "SERVICE_BATCH_SIZES",
     "run_runtime_bench",
 ]
@@ -587,6 +588,127 @@ def run_service_batch_sweep(
         "algorithm": algorithm,
         "mix": dict(READ_HEAVY_MIX),
         "rows": rows,
+    }
+
+
+def _tail_leg(rep) -> dict:
+    """One sync/async leg of the tail bench as a JSON row."""
+    return {
+        "rebuild_mode": rep.rebuild_mode,
+        "freshness": rep.freshness,
+        "wall_s": rep.wall_s,
+        "ops_per_s": rep.throughput_ops_s,
+        "query_p50_us": rep.query_p50_us,
+        "query_p95_us": rep.query_p95_us,
+        "query_p99_us": rep.query_p99_us,
+        "rebuilds": rep.rebuilds,
+        "rebuild_wall_s": rep.rebuild_wall_s,
+        "stale_hits": rep.stale_hits,
+        "forced_syncs": rep.forced_syncs,
+        "rebuilds_queued": rep.rebuilds_queued,
+        "rebuild_swaps": rep.rebuild_swaps,
+        "rebuilds_rejected": rep.rebuilds_rejected,
+        "max_staleness_ms": rep.max_staleness_ms,
+        "verified": rep.verified,
+        "mismatches": rep.mismatches,
+    }
+
+
+def run_service_tail_bench(
+    n: int | None = None,
+    ops: int = 400,
+    seed: int = 42,
+    update_frac: float = 0.2,
+    algorithm: str = "tv-filter",
+    edge_bias: float = 0.05,
+    cache_size: int = 8,
+    coalesce_ms: float = 2.0,
+    staleness_budget_ms: float | None = 1000.0,
+) -> dict:
+    """Sync vs async index maintenance: query tail latency under churn.
+
+    Runs the *same* seeded churn-heavy workload (default 20% batch
+    updates) through three engine configurations:
+
+    ``sync``
+        every post-update query pays the full rebuild inline — the
+        rebuild cost lands in the query tail (p99 >> p50),
+    ``async`` (freshness ``any``)
+        stale-while-revalidate: queries serve the last consistent
+        snapshot lock-free while a background worker rebuilds, so the
+        tail collapses to ordinary dispatch cost,
+    ``async`` + ``--verify`` (freshness ``fresh``)
+        the correctness leg: every query demands an up-to-date index
+        and every answer is checked against sequential recompute-from-
+        scratch — async maintenance with ``freshness="fresh"`` must be
+        bit-identical to sync (``mismatches`` = 0).
+
+    All three legs run uninstrumented (no simulated machine — async
+    engines forbid one, and the comparison is pure wall-clock).  The
+    headline numbers are ``tail_collapse_p99`` (sync p99 / async p99)
+    and ``async_p99_over_p50`` (how flat the async tail is; the target
+    is within ~10x of p50).  Written into results/BENCH_service.json
+    (v3) under ``"tail_latency"``.
+
+    The default staleness budget (1 s) deliberately exceeds one full
+    rebuild at this scale: a budget smaller than a rebuild forces a
+    synchronous rebuild in every churn window, which puts the rebuild
+    cost right back into the query tail being measured.
+
+    The ~10x-of-p50 target needs >= 2 cores.  On a single-core host the
+    query thread and the rebuild worker time-share one CPU, so a query
+    landing mid-build waits out an OS scheduling timeslice (~4 ms
+    regardless of instance size); ``host_cpus`` records the core count
+    so the committed artifact is interpretable.  The p95 ratio shows the
+    collapse even there: stale serves are ordinary dispatch cost.
+    """
+    import os as _os
+
+    from ..service import WorkloadSpec, generate_workload, mix_with_update_fraction
+    from ..service.driver import run_workload
+
+    if n is None:
+        n = (default_n() if ("REPRO_BENCH_N" in _os.environ
+                             or _os.environ.get("REPRO_BENCH_SCALE"))
+             else 10_000)
+    m = n * max(1, round(math.log2(n)))
+    spec = WorkloadSpec(
+        num_ops=ops,
+        seed=seed,
+        mix=mix_with_update_fraction(update_frac),
+        edge_bias=edge_bias,
+        graph={"family": "connected-gnm", "n": int(n), "m": int(m), "seed": seed},
+    )
+    workload = generate_workload(spec)
+    common = dict(algorithm=algorithm, cache_size=cache_size)
+    sync_rep = run_workload(workload, rebuild_mode="sync", **common)
+    async_rep = run_workload(
+        workload, rebuild_mode="async", coalesce_ms=coalesce_ms,
+        staleness_budget_ms=staleness_budget_ms, **common,
+    )
+    fresh_rep = run_workload(
+        workload, rebuild_mode="async", coalesce_ms=coalesce_ms,
+        staleness_budget_ms=staleness_budget_ms, verify=True, **common,
+    )
+    async_p99 = async_rep.query_p99_us or 1.0
+    async_p50 = async_rep.query_p50_us or 1.0
+    return {
+        "graph_n": int(n),
+        "graph_m": int(m),
+        "ops": int(ops),
+        "update_frac": update_frac,
+        "algorithm": algorithm,
+        "coalesce_ms": coalesce_ms,
+        "staleness_budget_ms": staleness_budget_ms,
+        "host_cpus": os.cpu_count(),
+        "sync": _tail_leg(sync_rep),
+        "async": _tail_leg(async_rep),
+        "fresh_verify": _tail_leg(fresh_rep),
+        "tail_collapse_p99": sync_rep.query_p99_us / async_p99,
+        "tail_collapse_p95": sync_rep.query_p95_us
+        / (async_rep.query_p95_us or 1.0),
+        "async_p99_over_p50": async_rep.query_p99_us / async_p50,
+        "async_p95_over_p50": async_rep.query_p95_us / async_p50,
     }
 
 

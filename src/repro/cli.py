@@ -336,6 +336,7 @@ def cmd_workload_run(args) -> int:
         raise SystemExit(f"workload run: {exc}") from None
     graph = _read(args.graph) if args.graph else None
     machine = e4500(args.p) if args.p else None
+    budget = args.staleness_budget_ms
     try:
         rep = run_workload(
             wl,
@@ -344,6 +345,10 @@ def cmd_workload_run(args) -> int:
             machine=machine,
             cache_size=args.cache_size,
             verify=args.verify,
+            rebuild_mode=args.rebuild_mode,
+            coalesce_ms=args.coalesce_ms,
+            staleness_budget_ms=None if budget is not None and budget < 0 else budget,
+            freshness=args.freshness,
         )
     except (ValueError, IndexError) as exc:
         # IndexError: --graph override smaller than the workload's universe
@@ -371,6 +376,14 @@ def cmd_workload_run(args) -> int:
         print(f"cache: {rep.cache_hits} hits / {rep.cache_misses} misses "
               f"(hit rate {rep.cache_hit_rate:.1%}); rebuilds={rep.rebuilds}, "
               f"incremental={rep.incremental_extensions}, no-ops={rep.noop_updates}")
+        print(f"rebuild wall: {rep.rebuild_wall_s:.3f}s "
+              f"(mode={rep.rebuild_mode})")
+        if rep.rebuild_mode == "async":
+            print(f"freshness={rep.freshness}: {rep.stale_hits} stale hits, "
+                  f"{rep.forced_syncs} forced syncs, "
+                  f"{rep.rebuilds_queued} queued / {rep.rebuild_swaps} swapped "
+                  f"/ {rep.rebuilds_rejected} rejected; "
+                  f"max staleness {rep.max_staleness_ms:.1f}ms")
         if rep.sim_time_s is not None:
             print(f"simulated E4500 time at p={rep.p}: {rep.sim_time_s:.4f}s")
             for region, sec in (rep.sim_regions or {}).items():
@@ -477,6 +490,11 @@ def cmd_cluster_serve(args) -> int:
             cache_size=args.cache_size,
             tenant_graph_budget=args.tenant_graph_budget,
             tenant_batch_quota=args.tenant_batch_quota,
+            rebuild_mode=args.rebuild_mode,
+            coalesce_ms=args.coalesce_ms,
+            staleness_budget_ms=(
+                None if args.staleness_budget_ms < 0 else args.staleness_budget_ms
+            ),
         )
     finally:
         if args.input:
@@ -601,7 +619,23 @@ def main(argv=None) -> int:
                     help="LRU size of the fingerprint-keyed index cache")
     pr.add_argument("--verify", action="store_true",
                     help="check every query against recompute-from-scratch "
-                         "(sequential Tarjan + fresh block-cut tree)")
+                         "(sequential Tarjan + fresh block-cut tree); async "
+                         "runs verify in freshness=fresh mode unless "
+                         "--freshness any is forced")
+    pr.add_argument("--rebuild-mode", choices=("sync", "async"), default="sync",
+                    help="index maintenance: inline rebuilds on the query "
+                         "path (sync, default) or stale-while-revalidate "
+                         "background rebuilds with atomic snapshot swap "
+                         "(async; see docs/service.md)")
+    pr.add_argument("--coalesce-ms", type=float, default=0.0,
+                    help="async: window batching an update burst into one "
+                         "scheduled rebuild (default 0: rebuild per burst)")
+    pr.add_argument("--staleness-budget-ms", type=float, default=250.0,
+                    help="async: serve stale at most this long before forcing "
+                         "an inline rebuild (negative: unbounded)")
+    pr.add_argument("--freshness", choices=("any", "fresh"), default=None,
+                    help="async query freshness (default: any; fresh blocks "
+                         "for an exact index, bit-identical to sync)")
     pr.add_argument("--json", action="store_true",
                     help="emit the full report as JSON")
     pr.set_defaults(fn=cmd_workload_run)
@@ -662,6 +696,16 @@ def main(argv=None) -> int:
                     help="max resident graphs per tenant (LRU-evicted)")
     cs.add_argument("--tenant-batch-quota", type=int, default=None,
                     help="max query/update items per tenant per batch")
+    cs.add_argument("--rebuild-mode", choices=("sync", "async"), default="sync",
+                    help="per-shard index maintenance: rebuild inline (sync) "
+                         "or in the background, serving the last consistent "
+                         "snapshot meanwhile (async)")
+    cs.add_argument("--coalesce-ms", type=float, default=0.0,
+                    help="async: delay rebuilds this long so bursts of "
+                         "updates to one graph coalesce into one rebuild")
+    cs.add_argument("--staleness-budget-ms", type=float, default=250.0,
+                    help="async: force a synchronous rebuild once a served "
+                         "snapshot is older than this (negative: unbounded)")
     cs.set_defaults(fn=cmd_cluster_serve)
 
     args = parser.parse_args(argv)

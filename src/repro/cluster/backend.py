@@ -44,6 +44,8 @@ from .frames import answer_slots, decode_answer, encode_answer
 __all__ = ["ShardBackend", "InProcessBackend", "ProcessBackend", "make_backend", "STAT_FIELDS"]
 
 #: Engine counters a backend reports per shard, in buffer column order.
+#: All values must be int-safe (``max_staleness_ms`` is reported as whole
+#: milliseconds so it survives the processes backend's int64 stat buffer).
 STAT_FIELDS = (
     "queries",
     "updates",
@@ -53,6 +55,10 @@ STAT_FIELDS = (
     "incremental_extensions",
     "evictions",
     "noop_updates",
+    "stale_hits",
+    "forced_syncs",
+    "rebuild_swaps",
+    "max_staleness_ms",
 )
 
 
@@ -97,13 +103,22 @@ class InProcessBackend(ShardBackend):
         algorithm: str = "tv-filter",
         cache_size: int = 8,
         telemetry=None,
+        rebuild_mode: str = "sync",
+        coalesce_ms: float = 0.0,
+        staleness_budget_ms: float | None = 250.0,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
         self.telemetry = telemetry
         self.engines = [
-            ServiceEngine(algorithm=algorithm, cache_size=cache_size)
+            ServiceEngine(
+                algorithm=algorithm,
+                cache_size=cache_size,
+                rebuild_mode=rebuild_mode,
+                coalesce_ms=coalesce_ms,
+                staleness_budget_ms=staleness_budget_ms,
+            )
             for _ in range(num_shards)
         ]
 
@@ -139,7 +154,10 @@ class InProcessBackend(ShardBackend):
         return rows
 
     def close(self) -> None:
-        pass
+        # async engines own a rebuild worker thread each; a closed shard
+        # fleet must leave nothing running
+        for engine in self.engines:
+            engine.close()
 
 
 # --------------------------------------------------------------------- #
@@ -150,9 +168,16 @@ class InProcessBackend(ShardBackend):
 _W_ENGINES: dict[int, ServiceEngine] = {}
 
 
-def _w_configure(rank, lo, hi, algorithm, cache_size):
+def _w_configure(rank, lo, hi, algorithm, cache_size, rebuild_mode, coalesce_ms,
+                 staleness_budget_ms):
     for shard in range(lo, hi):
-        _W_ENGINES[shard] = ServiceEngine(algorithm=algorithm, cache_size=cache_size)
+        _W_ENGINES[shard] = ServiceEngine(
+            algorithm=algorithm,
+            cache_size=cache_size,
+            rebuild_mode=rebuild_mode,
+            coalesce_ms=coalesce_ms,
+            staleness_budget_ms=staleness_budget_ms,
+        )
 
 
 def _w_put_graph(rank, lo, hi, shard, name, n, u, v):
@@ -190,6 +215,16 @@ def _w_stats(rank, lo, hi, out):
             out[shard, col] = int(stats[field])
 
 
+def _w_close(rank, lo, hi):
+    # join each engine's rebuild worker before the process exits, so a
+    # closed cluster never leaves a build mid-flight in a dying worker
+    for shard in range(lo, hi):
+        engine = _W_ENGINES.pop(shard, None)
+        if engine is not None:
+            engine.drain(timeout=5.0)
+            engine.close()
+
+
 class ProcessBackend(ShardBackend):
     """One shard engine per forked worker process (see module docstring)."""
 
@@ -201,6 +236,9 @@ class ProcessBackend(ShardBackend):
         algorithm: str = "tv-filter",
         cache_size: int = 8,
         telemetry=None,
+        rebuild_mode: str = "sync",
+        coalesce_ms: float = 0.0,
+        staleness_budget_ms: float | None = 250.0,
     ):
         from ..runtime.process import ProcessTeam
 
@@ -212,7 +250,10 @@ class ProcessBackend(ShardBackend):
         self.team = ProcessTeam(num_shards)
         self.team.telemetry = telemetry
         self._graph_arrays: list = []  # keep shm-backed graph arrays alive
-        self.team.parallel_for(num_shards, _w_configure, algorithm, cache_size)
+        self.team.parallel_for(
+            num_shards, _w_configure, algorithm, cache_size, rebuild_mode,
+            coalesce_ms, staleness_budget_ms,
+        )
 
     def put_graph(self, shard: int, name: str, graph: Graph) -> None:
         u = self.team.share(graph.u)
@@ -277,6 +318,10 @@ class ProcessBackend(ShardBackend):
 
     def close(self) -> None:
         self._graph_arrays.clear()
+        try:
+            self.team.parallel_for(self.num_shards, _w_close)
+        except Exception:
+            pass  # workers already gone; team.close() reaps what's left
         self.team.close()
 
 

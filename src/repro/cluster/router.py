@@ -72,13 +72,21 @@ class Rejected:
 
 @dataclass
 class ClusterStats:
-    """Router-level view: shard engine counters plus tenant admission."""
+    """Router-level view: shard engine counters plus tenant admission.
+
+    ``per_shard`` rows carry the engine freshness counters
+    (``stale_hits``/``forced_syncs``/``rebuild_swaps``/``max_staleness_ms``)
+    when shards run async maintenance; ``rebuild_mode`` and the
+    cluster-wide worst ``max_staleness_ms`` summarize them up here.
+    """
 
     num_shards: int
     backend: str
     graphs: dict  # name -> shard
     per_shard: list  # engine counters per shard (backend.STAT_FIELDS)
     tenants: dict  # tenant -> {"admitted", "rejected", "items", "graphs", "evictions"}
+    rebuild_mode: str = "sync"
+    max_staleness_ms: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -87,6 +95,8 @@ class ClusterStats:
             "graphs": dict(self.graphs),
             "per_shard": list(self.per_shard),
             "tenants": {k: dict(v) for k, v in self.tenants.items()},
+            "rebuild_mode": self.rebuild_mode,
+            "max_staleness_ms": self.max_staleness_ms,
         }
 
 
@@ -103,6 +113,9 @@ class ShardRouter:
         tenant_graph_budget: int | None = None,
         tenant_batch_quota: int | None = None,
         default_graph: str = "g0",
+        rebuild_mode: str = "sync",
+        coalesce_ms: float = 0.0,
+        staleness_budget_ms: float | None = 250.0,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -115,6 +128,7 @@ class ShardRouter:
         self.default_graph = default_graph
         self.tenant_graph_budget = tenant_graph_budget
         self.tenant_batch_quota = tenant_batch_quota
+        self.rebuild_mode = rebuild_mode
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._counters = self.telemetry.add_sink(CounterSink())
         self.backend = make_backend(
@@ -123,6 +137,9 @@ class ShardRouter:
             algorithm=algorithm,
             cache_size=cache_size,
             telemetry=self.telemetry,
+            rebuild_mode=rebuild_mode,
+            coalesce_ms=coalesce_ms,
+            staleness_budget_ms=staleness_budget_ms,
         )
         self._lock = threading.Lock()
         self._shard_of_graph: dict[str, int] = {}
@@ -287,6 +304,11 @@ class ShardRouter:
                 graphs=dict(self._shard_of_graph),
                 per_shard=per_shard,
                 tenants=tenants,
+                rebuild_mode=self.rebuild_mode,
+                max_staleness_ms=float(max(
+                    (row.get("max_staleness_ms", 0) for row in per_shard),
+                    default=0,
+                )),
             )
 
     def _ensure_open(self) -> None:

@@ -26,6 +26,13 @@ lists, ``classify_edges`` becomes a dict of lists, admission rejections
 become ``{"rejected": ..., "tenant": ..., "reason": ...}``, and errors
 come back as ``{"error": ..., "type": ...}`` lines instead of killing
 the loop.
+
+Shutdown is orderly on *every* exit path, not just an explicit
+``shutdown`` verb: end of input (EOF), a closed stdin (``ValueError``
+from the line iterator), or a reader that went away mid-answer
+(``BrokenPipeError`` on write) all fall out of the loop and close the
+router — shard workers join, shared-memory segments release.  A piped
+client can simply close its end of the pipe and the server exits clean.
 """
 
 from __future__ import annotations
@@ -92,24 +99,46 @@ def serve(
     tenant_graph_budget: int | None = None,
     tenant_batch_quota: int | None = None,
     telemetry=None,
+    rebuild_mode: str = "sync",
+    coalesce_ms: float = 0.0,
+    staleness_budget_ms: float | None = 250.0,
+    router: ShardRouter | None = None,
 ) -> int:
     """Run the serve loop over ``lines``, writing answers to ``out``.
 
     Returns the number of requests handled.  The router is always closed
-    on the way out — EOF, ``shutdown``, or an unexpected error all
-    release shard workers and shared memory.
+    on the way out — ``shutdown``, EOF, a stdin closed under us, a
+    broken output pipe, or an unexpected error all release shard
+    workers, rebuild threads and shared memory.
+
+    Pass ``router`` to serve on a caller-built :class:`ShardRouter`
+    (the routing kwargs are then ignored); ownership still transfers —
+    serve closes it.  Callers keeping a reference can assert post-exit
+    invariants (workers joined, no live segments) on the closed object.
     """
     handled = 0
-    with ShardRouter(
-        num_shards=num_shards,
-        backend=backend,
-        algorithm=algorithm,
-        cache_size=cache_size,
-        telemetry=telemetry,
-        tenant_graph_budget=tenant_graph_budget,
-        tenant_batch_quota=tenant_batch_quota,
-    ) as router:
-        for line in lines:
+    if router is None:
+        router = ShardRouter(
+            num_shards=num_shards,
+            backend=backend,
+            algorithm=algorithm,
+            cache_size=cache_size,
+            telemetry=telemetry,
+            tenant_graph_budget=tenant_graph_budget,
+            tenant_batch_quota=tenant_batch_quota,
+            rebuild_mode=rebuild_mode,
+            coalesce_ms=coalesce_ms,
+            staleness_budget_ms=staleness_budget_ms,
+        )
+    with router:
+        lines = iter(lines)
+        while True:
+            try:
+                line = next(lines)
+            except StopIteration:
+                break  # EOF: orderly shutdown
+            except ValueError:
+                break  # stdin closed under us: orderly shutdown
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
@@ -124,9 +153,12 @@ def serve(
                     True,
                 )
             handled += 1
-            out.write(json.dumps(response) + "\n")
-            if hasattr(out, "flush"):
-                out.flush()
+            try:
+                out.write(json.dumps(response) + "\n")
+                if hasattr(out, "flush"):
+                    out.flush()
+            except (BrokenPipeError, ValueError):
+                break  # reader went away: orderly shutdown
             if not keep_going:
                 break
     return handled

@@ -26,8 +26,18 @@ CLI: ``python -m repro workload gen|run`` (see docs/service.md).
 """
 
 from .driver import WorkloadReport, oracle_answer, run_workload
-from .engine import BATCH_OPS, QUERY_OPS, UPDATE_OPS, EngineStats, ServiceEngine
+from .engine import (
+    BATCH_OPS,
+    FRESHNESS_LEVELS,
+    QUERY_OPS,
+    REBUILD_MODES,
+    UPDATE_OPS,
+    EngineStats,
+    ServiceEngine,
+)
 from .index import BCCIndex
+from .scheduler import RebuildScheduler
+from .snapshot import IndexSnapshot
 from .store import GraphStore, StoredGraph, graph_fingerprint, make_graph
 from .updates import apply_add_edges, apply_remove_edges, extend_index, shrink_index
 from .workload import (
@@ -46,6 +56,10 @@ from .workload import (
 __all__ = [
     "ServiceEngine",
     "EngineStats",
+    "IndexSnapshot",
+    "RebuildScheduler",
+    "REBUILD_MODES",
+    "FRESHNESS_LEVELS",
     "QUERY_OPS",
     "BATCH_OPS",
     "BATCH_OP_NAMES",

@@ -171,6 +171,19 @@ class WorkloadReport:
     incremental_extensions: int = 0
     evictions: int = 0
     noop_updates: int = 0
+    #: index maintenance mode the run used, and the freshness queries asked
+    rebuild_mode: str = "sync"
+    freshness: str = "any"
+    #: measured wall seconds spent in full rebuilds (sync + background)
+    rebuild_wall_s: float = 0.0
+    #: async maintenance: stale serves, budget-blown inline rebuilds,
+    #: scheduler queue traffic, and the worst staleness age observed
+    stale_hits: int = 0
+    forced_syncs: int = 0
+    rebuilds_queued: int = 0
+    rebuild_swaps: int = 0
+    rebuilds_rejected: int = 0
+    max_staleness_ms: float = 0.0
     #: simulated machine accounting (None when run uninstrumented)
     p: int | None = None
     sim_time_s: float | None = None
@@ -221,20 +234,41 @@ def run_workload(
     machine: Machine | None = None,
     cache_size: int = 8,
     verify: bool = False,
+    rebuild_mode: str = "sync",
+    coalesce_ms: float = 0.0,
+    staleness_budget_ms: float | None = 250.0,
+    max_pending_rebuilds: int | None = 8,
+    freshness: str | None = None,
 ) -> WorkloadReport:
     """Execute every op of ``workload`` against an engine and measure.
 
     The graph comes from (in order): the explicit ``graph`` argument, or
     the workload header's graph spec.  A fresh engine is built unless one
-    is passed in (whose algorithm/machine then win); engine stats are
-    reset so the report covers exactly this run.
+    is passed in (whose algorithm/machine/rebuild mode then win); engine
+    stats are reset so the report covers exactly this run.
+
+    ``rebuild_mode="async"`` runs the engine in stale-while-revalidate
+    mode (see :mod:`repro.service.engine`); the driver drains pending
+    background rebuilds before reading stats, and closes the engine on
+    the way out when it created it.  ``freshness`` defaults to ``"any"``
+    — except under ``verify`` with an async engine, where it defaults to
+    ``"fresh"`` so every answer is exact against the recompute oracle
+    (stale-serving consistency is covered by the hypothesis property
+    tests instead).
     """
+    owned = engine is None
     if engine is None:
         engine = ServiceEngine(algorithm=algorithm, cache_size=cache_size,
-                               machine=machine)
+                               machine=machine, rebuild_mode=rebuild_mode,
+                               coalesce_ms=coalesce_ms,
+                               staleness_budget_ms=staleness_budget_ms,
+                               max_pending_rebuilds=max_pending_rebuilds)
+    if freshness is None:
+        freshness = "fresh" if (verify and engine.rebuild_mode == "async") else "any"
     if graph is None:
         graph = instance_graph(workload.spec)
     engine.put_graph(name, graph)
+    engine.drain()
     engine.reset_stats()
     machine = engine.machine
     sim_before = machine.time_s if machine is not None else 0.0
@@ -249,16 +283,24 @@ def run_workload(
     req_sink = WallClockSink(record_each=True)
     req_tel = Telemetry(sinks=[req_sink])
     items_by_kind: dict[str, list[int]] = {}
-    with req_tel.span("workload"):
-        for op in workload.ops:
-            kind = op["op"]
-            items_by_kind.setdefault(kind, []).append(op_item_count(op))
-            with req_tel.span(kind):
-                answer = engine.apply(name, op)
-            if oracle is not None and (kind in QUERY_OP_NAMES
-                                       or kind in BATCH_OP_NAMES):
-                expected = oracle.answer(engine.graph(name), op)
-                mismatches += _mismatches(kind, answer, expected)
+    try:
+        with req_tel.span("workload"):
+            for op in workload.ops:
+                kind = op["op"]
+                items_by_kind.setdefault(kind, []).append(op_item_count(op))
+                with req_tel.span(kind):
+                    answer = engine.apply(name, op, freshness=freshness)
+                if oracle is not None and (kind in QUERY_OP_NAMES
+                                           or kind in BATCH_OP_NAMES):
+                    expected = oracle.answer(engine.graph(name), op)
+                    mismatches += _mismatches(kind, answer, expected)
+        # settle in-flight background rebuilds so the stats (and any
+        # follow-up use of the engine) reflect the whole run; outside the
+        # workload span — convergence time is not request latency
+        engine.drain()
+    finally:
+        if owned:
+            engine.close()
     wall = req_sink.seconds["workload"]
     latencies = {
         path.split(".", 1)[1]: ns
@@ -318,6 +360,15 @@ def run_workload(
         incremental_extensions=st.incremental_extensions,
         evictions=st.evictions,
         noop_updates=st.noop_updates,
+        rebuild_mode=engine.rebuild_mode,
+        freshness=freshness,
+        rebuild_wall_s=st.rebuild_wall_s,
+        stale_hits=st.stale_hits,
+        forced_syncs=st.forced_syncs,
+        rebuilds_queued=st.rebuilds_queued,
+        rebuild_swaps=st.rebuild_swaps,
+        rebuilds_rejected=st.rebuilds_rejected,
+        max_staleness_ms=st.max_staleness_ms,
     )
     if machine is not None:
         rep = machine.report()

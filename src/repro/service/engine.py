@@ -16,32 +16,70 @@ rebuild with the configured algorithm (any name from
 ``repro.api.ALGORITHMS``; default ``tv-filter``).  Consecutive updates
 between queries therefore coalesce into at most one rebuild.
 
+Index maintenance runs in one of two modes:
+
+``rebuild_mode="sync"`` (default)
+    The historical behaviour: the first query after an invalidating
+    update resolves the index *inline* — replay or full rebuild on the
+    query path.  Simple, always fresh, but the rebuild lands in some
+    query's latency (the p99 tail the bench measures).
+
+``rebuild_mode="async"`` (stale-while-revalidate)
+    Queries read the last installed
+    :class:`~repro.service.snapshot.IndexSnapshot` lock-free and never
+    rebuild inline; a :class:`~repro.service.scheduler.RebuildScheduler`
+    rebuilds off the query path and atomically swaps the snapshot in.
+    ``coalesce_ms`` batches update bursts into one scheduled rebuild;
+    ``staleness_budget_ms`` bounds how stale an answer may get before
+    the engine falls back to a synchronous rebuild
+    (``rebuild.force_sync``); ``max_pending_rebuilds`` bounds the
+    scheduler queue.  Queries accept ``freshness="any"`` (default:
+    serve the snapshot, possibly stale — emits ``index.stale_hit``)
+    or ``freshness="fresh"`` (block for an exact index; bit-identical
+    to the synchronous engine).  Async engines must be :meth:`close`-d
+    (or used as context managers) so no rebuild thread outlives them;
+    ``machine`` simulation is sync-only (the span stack is not
+    thread-safe).
+
 All work is optionally charged to a simulated :class:`repro.smp.Machine`
 under three regions — ``Service-build``, ``Service-extend``,
 ``Service-query`` — so a workload's simulated cost decomposes exactly like
 the paper's Fig. 4 step breakdowns.
 
 The engine reports through a :class:`repro.obs.Telemetry`: every cache
-hit/miss, rebuild, incremental extension, update, and query is emitted as
-an instant event, and build/extend/query work runs inside spans.  The
-public :attr:`ServiceEngine.stats` view (:class:`EngineStats`) is
-assembled on demand from the engine's :class:`~repro.obs.CounterSink` —
-the bespoke counter path is gone, but the fields are unchanged.
+hit/miss, rebuild, incremental extension, update, query, stale hit, and
+snapshot swap is emitted as an instant event, and build/extend/query work
+runs inside spans.  The public :attr:`ServiceEngine.stats` view
+(:class:`EngineStats`) is assembled on demand from the engine's
+:class:`~repro.obs.CounterSink`, plus measured rebuild wall seconds from
+a :class:`~repro.obs.WallClockSink` (``rebuild_wall_s``).
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..graph import Graph
-from ..obs import CounterSink, Telemetry
+from ..obs import CounterSink, Telemetry, WallClockSink
 from ..smp import Machine, NullMachine, Ops
 from . import updates as upd
 from .index import BCCIndex
+from .scheduler import RebuildScheduler
+from .snapshot import IndexSnapshot
 from .store import GraphStore
 
-__all__ = ["QUERY_OPS", "BATCH_OPS", "UPDATE_OPS", "EngineStats", "ServiceEngine"]
+__all__ = [
+    "QUERY_OPS",
+    "BATCH_OPS",
+    "UPDATE_OPS",
+    "REBUILD_MODES",
+    "FRESHNESS_LEVELS",
+    "EngineStats",
+    "ServiceEngine",
+]
 
 #: Point-query operations the engine serves, with the per-query cost mix
 #: charged to the simulated machine (a handful of dependent loads).
@@ -69,6 +107,12 @@ BATCH_OPS = {
 #: Batch update operations (``edges`` parameter: list of [u, v] pairs).
 UPDATE_OPS = ("add_edges", "remove_edges")
 
+#: Index maintenance modes (see module docstring).
+REBUILD_MODES = ("sync", "async")
+
+#: Query freshness levels under async maintenance.
+FRESHNESS_LEVELS = ("any", "fresh")
+
 #: Pending deltas per graph are capped; longer runs of unqueried updates
 #: drop the chain and force one rebuild (bounding replay memory).
 MAX_PENDING_DELTAS = 64
@@ -86,6 +130,18 @@ class EngineStats:
     rebuilds: int = 0
     incremental_extensions: int = 0
     evictions: int = 0
+    #: async maintenance: queries served from a stale snapshot
+    stale_hits: int = 0
+    #: async maintenance: staleness budget exceeded -> inline rebuild
+    forced_syncs: int = 0
+    #: background rebuild jobs enqueued / completed-and-swapped / rejected
+    rebuilds_queued: int = 0
+    rebuild_swaps: int = 0
+    rebuilds_rejected: int = 0
+    #: measured wall seconds spent in full index rebuilds (sync + async)
+    rebuild_wall_s: float = 0.0
+    #: worst staleness age observed at a stale hit or swap, in ms
+    max_staleness_ms: float = 0.0
     per_op: dict = field(default_factory=dict)
 
     @property
@@ -104,6 +160,13 @@ class EngineStats:
             "rebuilds": self.rebuilds,
             "incremental_extensions": self.incremental_extensions,
             "evictions": self.evictions,
+            "stale_hits": self.stale_hits,
+            "forced_syncs": self.forced_syncs,
+            "rebuilds_queued": self.rebuilds_queued,
+            "rebuild_swaps": self.rebuild_swaps,
+            "rebuilds_rejected": self.rebuilds_rejected,
+            "rebuild_wall_s": self.rebuild_wall_s,
+            "max_staleness_ms": self.max_staleness_ms,
             "per_op": dict(self.per_op),
         }
 
@@ -129,9 +192,26 @@ class ServiceEngine:
         cache_size: int = 8,
         machine: Machine | None = None,
         telemetry: Telemetry | None = None,
+        rebuild_mode: str = "sync",
+        coalesce_ms: float = 0.0,
+        staleness_budget_ms: float | None = 250.0,
+        max_pending_rebuilds: int | None = 8,
+        rebuild_backend: str | None = None,
+        rebuild_p: int | None = None,
+        clock=None,
     ):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if rebuild_mode not in REBUILD_MODES:
+            raise ValueError(
+                f"unknown rebuild_mode {rebuild_mode!r}; choose from {REBUILD_MODES}"
+            )
+        if coalesce_ms < 0:
+            raise ValueError(f"coalesce_ms must be >= 0, got {coalesce_ms}")
+        if staleness_budget_ms is not None and staleness_budget_ms < 0:
+            raise ValueError(
+                f"staleness_budget_ms must be >= 0 (or None), got {staleness_budget_ms}"
+            )
         self.store = store if store is not None else GraphStore()
         self.algorithm = algorithm
         self.cache_size = int(cache_size)
@@ -145,8 +225,36 @@ class ServiceEngine:
         else:
             self.telemetry = Telemetry()
         self._counters = self.telemetry.add_sink(CounterSink())
+        self._wall = self.telemetry.add_sink(WallClockSink())
         self._cache: OrderedDict[str, BCCIndex] = OrderedDict()
         self._pending: dict[str, tuple[str, list[_Delta]]] = {}
+        self.rebuild_mode = rebuild_mode
+        self.coalesce_ms = float(coalesce_ms)
+        self.staleness_budget_ms = staleness_budget_ms
+        self._clock = clock if clock is not None else time.monotonic
+        # snapshot installs/evictions are serialized against the rebuild
+        # worker; snapshot *reads* stay lock-free (GIL-atomic dict load)
+        self._swap_lock = threading.Lock()
+        self._snapshots: dict[str, IndexSnapshot] = {}
+        self._dirty_since: dict[str, float] = {}
+        self._max_staleness_ms = 0.0
+        self._scheduler: RebuildScheduler | None = None
+        if rebuild_mode == "async":
+            if machine is not None and not isinstance(machine, NullMachine):
+                raise ValueError(
+                    "rebuild_mode='async' cannot be combined with a simulated "
+                    "machine: background rebuilds run off the (thread-unsafe) "
+                    "span stack; use rebuild_mode='sync' for cost-model runs"
+                )
+            self._scheduler = RebuildScheduler(
+                self._background_rebuild,
+                telemetry=self.telemetry,
+                coalesce_s=self.coalesce_ms / 1000.0,
+                max_pending=max_pending_rebuilds,
+                clock=self._clock,
+                backend=rebuild_backend,
+                p=rebuild_p,
+            )
 
     # ------------------------------------------------------------------ #
     # graph management
@@ -156,7 +264,10 @@ class ServiceEngine:
         """Store (or replace) a graph under ``name``."""
         if name in self.store:
             self._pending.pop(name, None)
-            return self.store.replace(name, graph)
+            entry = self.store.replace(name, graph)
+            if self._scheduler is not None:
+                self._mark_stale(name)
+            return entry
         return self.store.put(name, graph)
 
     def graph(self, name: str) -> Graph:
@@ -171,23 +282,178 @@ class ServiceEngine:
             return self.machine.region(label)
         return self.telemetry.span(label)
 
-    def index_for(self, name: str) -> BCCIndex:
-        """The current index for ``name``: cached, replayed, or rebuilt."""
+    def index_for(self, name: str, freshness: str = "any") -> BCCIndex:
+        """The current index for ``name``: cached, replayed, or rebuilt.
+
+        Sync mode resolves inline (always exact).  Async mode serves the
+        installed snapshot — possibly stale under ``freshness="any"`` —
+        and only resolves inline for ``freshness="fresh"``, a blown
+        staleness budget, or a graph with no snapshot yet.
+        """
+        if freshness not in FRESHNESS_LEVELS:
+            raise ValueError(
+                f"unknown freshness {freshness!r}; choose from {FRESHNESS_LEVELS}"
+            )
         entry = self.store.entry(name)
+        if self._scheduler is None or freshness == "fresh":
+            return self._index_sync(name, entry)
+        return self._index_async(name, entry)
+
+    def _index_sync(self, name: str, entry) -> BCCIndex:
+        """The historical inline path: cache hit, delta replay, or rebuild."""
         idx = self._cache.get(entry.fingerprint)
         if idx is not None:
-            self._cache.move_to_end(entry.fingerprint)
+            with self._swap_lock:
+                self._cache.move_to_end(entry.fingerprint)
             self._pending.pop(name, None)
             self.telemetry.event("cache.hit")
+            self._install(name, idx, entry)
             return idx
         self.telemetry.event("cache.miss")
         idx = self._resolve(name, entry)
-        self._cache[idx.fingerprint] = idx
-        self._cache.move_to_end(idx.fingerprint)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self.telemetry.event("cache.evict")
+        self._cache_put(idx)
+        self._install(name, idx, entry)
         return idx
+
+    def _index_async(self, name: str, entry) -> BCCIndex:
+        """Serve the snapshot; schedule revalidation instead of rebuilding."""
+        snap = self._snapshots.get(name)
+        if snap is not None and snap.fingerprint == entry.fingerprint:
+            self.telemetry.event("cache.hit")
+            return snap.index
+        cached = self._cache.get(entry.fingerprint)
+        if cached is not None:
+            # content seen before (revert / no-op churn): instant swap
+            self._pending.pop(name, None)
+            self.telemetry.event("cache.hit")
+            self._install(name, cached, entry)
+            return cached
+        if snap is None:
+            # first query for this name: nothing to serve stale yet
+            return self._index_sync(name, entry)
+        age_ms = self._staleness_ms(name)
+        if (
+            self.staleness_budget_ms is not None
+            and age_ms > self.staleness_budget_ms
+        ):
+            self.telemetry.event("rebuild.force_sync")
+            return self._index_sync(name, entry)
+        self._max_staleness_ms = max(self._max_staleness_ms, age_ms)
+        self.telemetry.event("index.stale_hit")
+        # ensure a revalidation is in flight (re-tries after a rejection)
+        self._scheduler.schedule(name)
+        return snap.index
+
+    def _staleness_ms(self, name: str) -> float:
+        since = self._dirty_since.get(name)
+        if since is None:
+            return 0.0
+        return max(self._clock() - since, 0.0) * 1000.0
+
+    def _cache_put(self, idx: BCCIndex) -> None:
+        with self._swap_lock:
+            self._cache[idx.fingerprint] = idx
+            self._cache.move_to_end(idx.fingerprint)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self.telemetry.event("cache.evict")
+
+    def _install(self, name: str, idx: BCCIndex, entry) -> None:
+        """Atomically publish ``idx`` as ``name``'s current snapshot."""
+        snap = IndexSnapshot(
+            index=idx,
+            fingerprint=entry.fingerprint,
+            version=entry.version,
+            built_at=self._clock(),
+            source=idx.source,
+        )
+        with self._swap_lock:
+            self._snapshots[name] = snap
+            self._dirty_since.pop(name, None)
+        if self._scheduler is not None:
+            # an inline resolve supersedes any queued background job
+            self._scheduler.cancel(name)
+
+    def _mark_stale(self, name: str) -> None:
+        """After an update: track staleness age and schedule revalidation."""
+        entry = self.store.entry(name)
+        snap = self._snapshots.get(name)
+        if snap is not None and snap.fingerprint == entry.fingerprint:
+            # the update reverted to the snapshot's content: fresh again
+            with self._swap_lock:
+                self._dirty_since.pop(name, None)
+            self._scheduler.cancel(name)
+            return
+        with self._swap_lock:
+            self._dirty_since.setdefault(name, self._clock())
+        if snap is not None:
+            # only revalidate graphs someone is reading; a never-queried
+            # name builds inline (and installs) on its first query
+            self._scheduler.schedule(name)
+
+    def _background_rebuild(self, name: str, job) -> None:
+        """Scheduler runner: build from the latest content, swap atomically.
+
+        Runs on the scheduler's worker thread.  Uses only thread-safe
+        telemetry (instant events + a private wall sink); never touches
+        the machine/span stack.
+        """
+        try:
+            entry = self.store.entry(name)
+        except KeyError:
+            return  # graph removed while queued
+        snap = self._snapshots.get(name)
+        if snap is not None and snap.fingerprint == entry.fingerprint:
+            return  # revalidated meanwhile (revert or inline resolve)
+        idx = self._cache.get(entry.fingerprint)
+        if idx is None:
+            team = self._scheduler.team
+            tel = Telemetry()
+            wall = tel.add_sink(WallClockSink())
+            with tel.span("Service-build"):
+                idx = BCCIndex.build(
+                    entry.graph,
+                    algorithm=self.algorithm,
+                    fingerprint=entry.fingerprint,
+                    team=team,
+                )
+            self._scheduler.add_wall(wall.seconds.get("Service-build", 0.0))
+            self.telemetry.event("index.rebuild")
+        if job.cancelled:
+            return
+        now = self._clock()
+        with self._swap_lock:
+            prev = self._snapshots.get(name)
+            if prev is not None and prev.version >= entry.version and not prev.fresh_for(entry):
+                return  # a newer snapshot raced in; ours is obsolete
+            self._cache[idx.fingerprint] = idx
+            self._cache.move_to_end(idx.fingerprint)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self.telemetry.event("cache.evict")
+            stale_s = now - self._dirty_since.get(name, now)
+            self._snapshots[name] = IndexSnapshot(
+                index=idx,
+                fingerprint=entry.fingerprint,
+                version=entry.version,
+                built_at=now,
+                source=idx.source,
+            )
+            current = self.store.entry(name)
+            if current.fingerprint == entry.fingerprint:
+                # swap reached the newest content: clean slate
+                self._dirty_since.pop(name, None)
+                self._pending.pop(name, None)
+            # else: mid-build churn — dirty_since stays; the scheduler's
+            # re-run mark converges on the newest content
+        swap_ms = max(now - job.queued_at, 0.0) * 1000.0
+        stale_ms = max(stale_s, 0.0) * 1000.0
+        self._max_staleness_ms = max(self._max_staleness_ms, stale_ms)
+        self.telemetry.event(
+            "rebuild.swap",
+            swap_latency_ms=round(swap_ms, 3),
+            staleness_ms=round(stale_ms, 3),
+        )
 
     def _resolve(self, name: str, entry) -> BCCIndex:
         pending = self._pending.pop(name, None)
@@ -247,6 +513,8 @@ class ServiceEngine:
         new_entry = self.store.replace(name, ng)
         self._record(name, entry.fingerprint,
                      _Delta("add", ng, new_entry.fingerprint, au, av))
+        if self._scheduler is not None:
+            self._mark_stale(name)
         return int(au.size)
 
     def remove_edges(self, name: str, pairs) -> int:
@@ -260,17 +528,24 @@ class ServiceEngine:
         new_entry = self.store.replace(name, ng)
         self._record(name, entry.fingerprint,
                      _Delta("remove", ng, new_entry.fingerprint, removed, None))
+        if self._scheduler is not None:
+            self._mark_stale(name)
         return int(removed.size)
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
 
-    def query(self, name: str, op: str, **params):
-        """Answer one point query against the (lazily refreshed) index."""
+    def query(self, name: str, op: str, freshness: str = "any", **params):
+        """Answer one point query against the (lazily refreshed) index.
+
+        ``freshness`` only matters under ``rebuild_mode="async"``:
+        ``"any"`` serves the installed snapshot (possibly stale, never a
+        torn index), ``"fresh"`` blocks for an exact resolve.
+        """
         if op not in QUERY_OPS:
             raise ValueError(f"unknown query op {op!r}; choose from {sorted(QUERY_OPS)}")
-        idx = self.index_for(name)
+        idx = self.index_for(name, freshness=freshness)
         with self._region("Service-query"):
             if self.machine is not None:
                 self.machine.sequential(1, QUERY_OPS[op])
@@ -278,15 +553,17 @@ class ServiceEngine:
         self.telemetry.event("query", op=op)
         return answer
 
-    def query_many(self, name: str, op: str, **params):
+    def query_many(self, name: str, op: str, freshness: str = "any", **params):
         """Answer one *batched* query in a single vectorized kernel call.
 
-        The index is resolved (cache / replay / rebuild) once for the
-        whole batch; the simulated machine is charged the per-item cost
-        times the batch size under one ``Service-query`` region entry,
-        and the counter sink records the item count (so per-item stats
-        survive batching).  Returns the kernel's numpy result —
-        element-wise identical to issuing each item as a point query.
+        The index is resolved (cache / replay / rebuild — or snapshot
+        under async maintenance) once for the whole batch, so every item
+        answers from the *same* consistent index; the simulated machine
+        is charged the per-item cost times the batch size under one
+        ``Service-query`` region entry, and the counter sink records the
+        item count (so per-item stats survive batching).  Returns the
+        kernel's numpy result — element-wise identical to issuing each
+        item as a point query.
         """
         if op not in BATCH_OPS:
             raise ValueError(
@@ -294,7 +571,7 @@ class ServiceEngine:
             )
         items_key, per_item = BATCH_OPS[op]
         count = len(params.get(items_key, ()))
-        idx = self.index_for(name)
+        idx = self.index_for(name, freshness=freshness)
         with self._region("Service-query"):
             if self.machine is not None and count:
                 self.machine.sequential(count, per_item)
@@ -302,7 +579,7 @@ class ServiceEngine:
         self.telemetry.event("query", op=op, count=count)
         return answer
 
-    def apply(self, name: str, op: dict):
+    def apply(self, name: str, op: dict, freshness: str = "any"):
         """Execute one workload-format operation dict against ``name``.
 
         Query ops return their answer; update ops return the effective
@@ -316,14 +593,38 @@ class ServiceEngine:
         if kind in QUERY_OPS:
             params = {k: v for k, v in op.items()
                       if k not in ("op", "graph", "tenant", "seq")}
-            return self.query(name, kind, **params)
+            return self.query(name, kind, freshness=freshness, **params)
         if kind in BATCH_OPS:
-            return self.query_many(name, kind, **op.get("params", {}))
+            return self.query_many(name, kind, freshness=freshness,
+                                   **op.get("params", {}))
         if kind == "add_edges":
             return self.add_edges(name, op["edges"])
         if kind == "remove_edges":
             return self.remove_edges(name, op["edges"])
         raise ValueError(f"unknown workload op {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def snapshot_for(self, name: str) -> IndexSnapshot | None:
+        """The installed snapshot for ``name`` (None before first query)."""
+        return self._snapshots.get(name)
+
+    def staleness_ms(self, name: str) -> float:
+        """Wall-clock ms the snapshot has lagged the stored content (0 = fresh)."""
+        return self._staleness_ms(name)
+
+    @property
+    def rebuild_wall_s(self) -> float:
+        """Measured wall seconds spent in full rebuilds, sync + async."""
+        total = sum(
+            s for path, s in self._wall.seconds.items()
+            if path.rsplit(".", 1)[-1] == "Service-build"
+        )
+        if self._scheduler is not None:
+            total += self._scheduler.rebuild_wall_s
+        return total
 
     @property
     def stats(self) -> EngineStats:
@@ -338,14 +639,42 @@ class ServiceEngine:
             rebuilds=c["index.rebuild"],
             incremental_extensions=c["index.incremental"],
             evictions=c["cache.evict"],
+            stale_hits=c["index.stale_hit"],
+            forced_syncs=c["rebuild.force_sync"],
+            rebuilds_queued=c["rebuild.queued"],
+            rebuild_swaps=c["rebuild.swap"],
+            rebuilds_rejected=c["rebuild.reject"],
+            rebuild_wall_s=self.rebuild_wall_s,
+            max_staleness_ms=self._max_staleness_ms,
             per_op=c.prefixed("query"),
         )
 
     def reset_stats(self) -> None:
         self._counters.reset()
+        self._wall.reset()
+        self._max_staleness_ms = 0.0
+        if self._scheduler is not None:
+            self._scheduler.reset_stats()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for all scheduled background rebuilds to settle (async mode)."""
+        if self._scheduler is None:
+            return True
+        return self._scheduler.drain(timeout)
+
+    def close(self) -> None:
+        """Shut down background maintenance; idempotent, sync engines no-op."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+
+    def __enter__(self) -> "ServiceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (
             f"ServiceEngine(graphs={len(self.store)}, algorithm={self.algorithm!r}, "
-            f"cached={len(self._cache)}/{self.cache_size})"
+            f"cached={len(self._cache)}/{self.cache_size}, mode={self.rebuild_mode!r})"
         )

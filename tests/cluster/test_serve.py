@@ -4,8 +4,9 @@ import io
 import json
 
 import numpy as np
+import pytest
 
-from repro.cluster.router import Rejected
+from repro.cluster.router import Rejected, ShardRouter
 from repro.cluster.serve import jsonify_answer, serve
 
 
@@ -84,6 +85,84 @@ class TestServe:
             '{"op": "stats"}',
         ])
         assert handled == 1 and len(docs) == 1
+
+    def test_eof_is_orderly_shutdown(self):
+        # no shutdown verb: input just ends, and the router must still be
+        # closed on the way out
+        router = ShardRouter(num_shards=2)
+        handled, docs = _run([
+            '{"op": "put_graph", "name": "g0", "n": 30, "m": 60}',
+            '{"op": "num_components", "graph": "g0"}',
+        ], router=router)
+        assert handled == 2 and len(docs) == 2
+        with pytest.raises(RuntimeError):
+            router.stats()
+
+    def test_closed_stdin_is_orderly_shutdown(self):
+        # a stdin closed under the loop raises ValueError from next();
+        # serve must treat it exactly like EOF
+        def closing_stdin():
+            yield '{"op": "stats"}\n'
+            raise ValueError("I/O operation on closed file")
+
+        router = ShardRouter(num_shards=2)
+        handled, docs = _run(closing_stdin(), router=router)
+        assert handled == 1 and docs[0]["num_shards"] == 2
+        with pytest.raises(RuntimeError):
+            router.stats()
+
+    def test_broken_output_pipe_is_orderly_shutdown(self):
+        class BrokenPipe:
+            def __init__(self):
+                self.writes = 0
+
+            def write(self, s):
+                self.writes += 1
+                if self.writes > 1:
+                    raise BrokenPipeError
+                return len(s)
+
+            def flush(self):
+                pass
+
+        router = ShardRouter(num_shards=2)
+        out = BrokenPipe()
+        handled = serve([
+            '{"op": "stats"}',
+            '{"op": "stats"}',
+            '{"op": "stats"}',  # never reached: reader went away
+        ], out, router=router)
+        assert handled == 2  # second request handled, its answer undeliverable
+        with pytest.raises(RuntimeError):
+            router.stats()
+
+    def test_eof_clean_shutdown_processes_backend(self):
+        # the real resource-leak case: forked shard workers + shm graphs.
+        # EOF must join every worker and release every segment.
+        router = ShardRouter(num_shards=2, backend="processes")
+        handled, docs = _run([
+            '{"op": "put_graph", "name": "g0", "n": 30, "m": 60}',
+            '{"op": "num_components", "graph": "g0"}',
+        ], router=router)
+        assert handled == 2
+        assert docs[1]["answer"] >= 1
+        assert router.backend.workers_joined()
+        assert router.backend.live_segments == 0
+
+    def test_async_rebuild_mode_through_serve(self):
+        handled, docs = _run([
+            '{"op": "put_graph", "name": "g0", "n": 40, "m": 80, "seed": 3}',
+            '{"op": "add_edges", "edges": [[0, 1]], "graph": "g0"}',
+            '{"op": "num_components", "graph": "g0"}',
+            '{"op": "stats"}',
+        ], rebuild_mode="async", coalesce_ms=5.0)
+        assert handled == 4
+        stats = docs[3]
+        assert stats["rebuild_mode"] == "async"
+        assert "max_staleness_ms" in stats
+        for row in stats["per_shard"]:
+            assert {"stale_hits", "forced_syncs", "rebuild_swaps",
+                    "max_staleness_ms"} <= set(row)
 
     def test_tenant_quota_rejection_surfaces(self):
         handled, docs = _run([

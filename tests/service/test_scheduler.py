@@ -1,0 +1,247 @@
+"""Stale-while-revalidate maintenance: coalescing, admission, shutdown.
+
+Everything time-dependent runs on an injected fake clock, so the
+coalescing-window and staleness-budget behaviours are exact assertions,
+not sleeps: N updates inside one window must cost exactly one queued job
+and one snapshot swap; a blown budget must force exactly one inline
+rebuild.
+"""
+
+import threading
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.service.engine import ServiceEngine
+from repro.service.scheduler import RebuildScheduler
+
+
+class FakeClock:
+    """Frozen monotonic clock; tests advance it explicitly."""
+
+    def __init__(self, t: float = 100.0):
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, s: float) -> None:
+        self.t += s
+
+
+def _async_engine(clock, **kw):
+    kw.setdefault("rebuild_mode", "async")
+    kw.setdefault("coalesce_ms", 50.0)
+    kw.setdefault("staleness_budget_ms", None)
+    return ServiceEngine(clock=clock, **kw)
+
+
+class TestSchedulerUnit:
+    def test_queue_coalesce_reject(self):
+        clk = FakeClock()
+        calls = []
+        sched = RebuildScheduler(
+            lambda name, job: calls.append(name),
+            coalesce_s=0.05, max_pending=2, clock=clk,
+        )
+        try:
+            assert sched.schedule("g") == "queued"
+            assert sched.schedule("g") == "coalesced"
+            assert sched.schedule("h") == "queued"
+            assert sched.schedule("i") == "rejected"  # queue full
+            assert sched.pending_count == 2
+            clk.advance(0.1)  # both windows elapse
+            assert sched.drain(timeout=5.0)
+            assert sorted(calls) == ["g", "h"]
+        finally:
+            sched.close()
+
+    def test_cancel_drops_queued_job(self):
+        clk = FakeClock()
+        calls = []
+        with RebuildScheduler(
+            lambda name, job: calls.append(name), coalesce_s=0.05, clock=clk
+        ) as sched:
+            sched.schedule("g")
+            assert sched.cancel("g") is True
+            assert sched.cancel("g") is False  # already gone
+            clk.advance(0.1)
+            assert sched.drain(timeout=5.0)
+            assert calls == []
+
+    def test_runner_exception_does_not_kill_worker(self):
+        clk = FakeClock()
+        calls = []
+
+        def runner(name, job):
+            calls.append(name)
+            if name == "boom":
+                raise RuntimeError("build failed")
+
+        with RebuildScheduler(runner, coalesce_s=0.0, clock=clk) as sched:
+            sched.schedule("boom")
+            assert sched.drain(timeout=5.0)
+            assert sched.alive
+            sched.schedule("ok")
+            assert sched.drain(timeout=5.0)
+            assert calls == ["boom", "ok"]
+
+    def test_closed_scheduler_refuses_work(self):
+        sched = RebuildScheduler(lambda name, job: None)
+        sched.close()
+        sched.close()  # idempotent
+        assert not sched.alive
+        with pytest.raises(RuntimeError):
+            sched.schedule("g")
+
+
+class TestCoalescing:
+    def test_update_burst_is_one_rebuild_one_swap(self):
+        clk = FakeClock()
+        with _async_engine(clk) as eng:
+            eng.put_graph("g", gen.cycle_graph(16))
+            assert eng.query("g", "num_components") == 1
+            # five updates inside one 50 ms coalescing window
+            for i in range(5):
+                eng.remove_edges("g", [(i, i + 1)])
+            st = eng.stats
+            assert st.rebuilds_queued == 1
+            assert st.rebuild_swaps == 0  # window still open
+            clk.advance(0.1)
+            assert eng.drain(timeout=10.0)
+            st = eng.stats
+            assert st.rebuilds_queued == 1  # the burst coalesced
+            assert st.rebuild_swaps == 1  # one atomic snapshot install
+            assert st.rebuilds == 2  # initial build + one background build
+            # the swap reached the newest content: fresh, correct answer
+            assert eng.staleness_ms("g") == 0.0
+            assert eng.query("g", "num_components") == 11
+            assert eng.stats.forced_syncs == 0
+
+    def test_stale_serve_then_swap(self):
+        clk = FakeClock()
+        with _async_engine(clk) as eng:
+            eng.put_graph("g", gen.cycle_graph(16))
+            eng.query("g", "num_components")
+            eng.remove_edges("g", [(0, 1)])
+            # window open: queries serve the old (1-component) snapshot
+            assert eng.query("g", "num_components") == 1
+            assert eng.stats.stale_hits == 1
+            clk.advance(0.1)
+            assert eng.drain(timeout=10.0)
+            assert eng.query("g", "num_components") == 15
+            assert eng.stats.rebuild_swaps == 1
+
+    def test_revert_cancels_scheduled_rebuild(self):
+        clk = FakeClock()
+        with _async_engine(clk) as eng:
+            eng.put_graph("g", gen.cycle_graph(16))
+            eng.query("g", "num_components")
+            eng.remove_edges("g", [(0, 1)])
+            eng.add_edges("g", [(0, 1)])  # back to the snapshot's content
+            assert eng.staleness_ms("g") == 0.0
+            clk.advance(0.1)
+            assert eng.drain(timeout=10.0)
+            st = eng.stats
+            assert st.rebuild_swaps == 0  # nothing to revalidate
+            assert st.rebuilds == 1  # only the initial build
+            assert eng.query("g", "num_components") == 1
+
+    def test_fresh_query_supersedes_queued_job(self):
+        clk = FakeClock()
+        with _async_engine(clk) as eng:
+            eng.put_graph("g", gen.cycle_graph(16))
+            eng.query("g", "num_components")
+            eng.remove_edges("g", [(0, 1)])
+            # an exact query resolves inline and cancels the queued job
+            assert eng.query("g", "num_components", freshness="fresh") == 15
+            clk.advance(0.1)
+            assert eng.drain(timeout=10.0)
+            assert eng.stats.rebuild_swaps == 0
+
+
+class TestAdmissionAndBudget:
+    def test_blown_staleness_budget_forces_sync(self):
+        clk = FakeClock()
+        with _async_engine(
+            clk, coalesce_ms=10_000.0, staleness_budget_ms=100.0
+        ) as eng:
+            eng.put_graph("g", gen.cycle_graph(16))
+            eng.query("g", "num_components")
+            eng.remove_edges("g", [(0, 1)])
+            clk.advance(0.2)  # 200 ms stale > 100 ms budget
+            assert eng.query("g", "num_components") == 15  # exact, inline
+            st = eng.stats
+            assert st.forced_syncs == 1
+            assert st.stale_hits == 0
+            assert st.rebuild_swaps == 0  # the queued job was superseded
+
+    def test_within_budget_serves_stale(self):
+        clk = FakeClock()
+        with _async_engine(
+            clk, coalesce_ms=10_000.0, staleness_budget_ms=100.0
+        ) as eng:
+            eng.put_graph("g", gen.cycle_graph(16))
+            eng.query("g", "num_components")
+            eng.remove_edges("g", [(0, 1)])
+            clk.advance(0.05)  # 50 ms stale < 100 ms budget
+            assert eng.query("g", "num_components") == 1  # stale snapshot
+            st = eng.stats
+            assert st.stale_hits == 1
+            assert st.forced_syncs == 0
+            assert st.max_staleness_ms == pytest.approx(50.0)
+
+    def test_admission_rejects_but_keeps_serving(self):
+        clk = FakeClock()
+        with _async_engine(clk, max_pending_rebuilds=0) as eng:
+            eng.put_graph("g", gen.cycle_graph(16))
+            eng.query("g", "num_components")
+            eng.remove_edges("g", [(0, 1)])  # schedule -> rejected
+            assert eng.query("g", "num_components") == 1  # stale, still served
+            st = eng.stats
+            assert st.rebuilds_rejected >= 1
+            assert st.rebuilds_queued == 0
+
+
+class TestLifecycle:
+    def test_close_joins_worker_thread(self):
+        eng = _async_engine(FakeClock())
+        eng.put_graph("g", gen.cycle_graph(8))
+        eng.query("g", "num_components")
+        assert any(
+            t.name == "repro-rebuild-scheduler" for t in threading.enumerate()
+        )
+        eng.close()
+        eng.close()  # idempotent
+        assert not eng._scheduler.alive
+        assert not any(
+            t.name == "repro-rebuild-scheduler" for t in threading.enumerate()
+        )
+
+    def test_sync_engine_has_no_worker(self):
+        eng = ServiceEngine()
+        assert eng._scheduler is None
+        eng.close()  # no-op, must not raise
+
+    def test_async_rejects_simulated_machine(self):
+        from repro.smp import e4500
+
+        with pytest.raises(ValueError):
+            ServiceEngine(machine=e4500(4), rebuild_mode="async")
+
+    def test_rebuild_wall_is_measured_both_modes(self):
+        with ServiceEngine() as sync_eng:
+            sync_eng.put_graph("g", gen.cycle_graph(64))
+            sync_eng.query("g", "num_components")
+            assert sync_eng.stats.rebuild_wall_s > 0.0
+        clk = FakeClock()
+        with _async_engine(clk, coalesce_ms=0.0) as eng:
+            eng.put_graph("g", gen.cycle_graph(64))
+            eng.query("g", "num_components")
+            eng.remove_edges("g", [(0, 1)])
+            clk.advance(0.1)
+            assert eng.drain(timeout=10.0)
+            assert eng.stats.rebuild_swaps == 1
+            assert eng.stats.rebuild_wall_s > 0.0
+            eng.reset_stats()
+            assert eng.stats.rebuild_wall_s == 0.0

@@ -254,14 +254,22 @@ class TestServiceBench:
         out = capsys.readouterr().out
         assert "Service workload" in out
         assert "Service batch sweep" in out
+        assert "Service tail latency" in out
         data = json.loads(path.read_text())
-        assert data["version"] == 2
+        assert data["version"] == 3
         assert data["workload"]["graph_n"] == 600
         assert data["workload"]["throughput_ops_s"] > 0
         assert data["workload"]["cache_hit_rate"] > 0
         sweep = data["batch_sweep"]
         assert sweep["graph_n"] == 600
         assert [r["batch"] for r in sweep["rows"]] == [1, 16, 256, 4096]
+        tail = data["tail_latency"]
+        assert tail["graph_n"] == 600
+        assert tail["sync"]["rebuild_mode"] == "sync"
+        assert tail["async"]["rebuild_mode"] == "async"
+        assert tail["fresh_verify"]["verified"] is True
+        assert tail["fresh_verify"]["mismatches"] == 0
+        assert tail["tail_collapse_p99"] > 0
 
     def test_cli_service_writes_results_dir(self, tmp_path, capsys, monkeypatch):
         from repro.bench.__main__ import main
@@ -271,8 +279,9 @@ class TestServiceBench:
         assert main(["service", "--n", "600"]) == 0
         assert "wrote results/BENCH_service.json" in capsys.readouterr().out
         data = json.loads((tmp_path / "results" / "BENCH_service.json").read_text())
-        assert data["version"] == 2
+        assert data["version"] == 3
         assert data["batch_sweep"]["rows"][0]["batch"] == 1
+        assert "tail_latency" in data
 
 
 class TestScaleBench:
