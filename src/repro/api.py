@@ -21,6 +21,7 @@ from typing import Mapping
 import numpy as np
 
 from .core import pipeline as _pipeline
+from .core import select as _select
 from .core.filter import count_biconnected_components_bfs
 from .core.result import BCCResult
 from .core.tarjan import tarjan_bcc
@@ -79,11 +80,31 @@ def _pipeline_runner(spec_name: str, result_name: str | None = None):
     return run
 
 
+def _auto_runner(g, machine=None, *, strategies=None, backend=None, p=None,
+                 team=None, objective="wall", **kwargs):
+    """Adaptive dispatch: pick a concrete variant via :mod:`repro.core.select`.
+
+    The choice is pure arithmetic on (n, m, workers) — deterministic
+    across processes.  The result carries the *chosen* algorithm's name so
+    callers can see what ran; every other option (strategies, knobs,
+    backend, team) is forwarded to the chosen runner untouched.
+    """
+    workers = p
+    if workers is None:
+        workers = getattr(machine, "p", None)
+    if workers is None and team is not None:
+        workers = team.p
+    chosen = _select.choose_algorithm(g.n, g.m, workers or 1, objective=objective)
+    return ALGORITHMS[chosen](g, machine, strategies=strategies, backend=backend,
+                              p=p, team=team, **kwargs)
+
+
 def _build_algorithms():
     algos = {"sequential": _sequential_runner}
     for name in _pipeline.list_algorithms():
         algos[name] = _pipeline_runner(name)
     algos["custom"] = _pipeline_runner(CUSTOM_BASE, "custom")
+    algos["auto"] = _auto_runner
     return algos
 
 
@@ -114,6 +135,8 @@ def describe_algorithm(
             "sequential — Hopcroft–Tarjan iterative DFS baseline "
             "(no pipeline stages; accepts no options)"
         )
+    if algorithm == "auto":
+        return _select.describe_policy()
     base = CUSTOM_BASE if algorithm == "custom" else algorithm
     text = _pipeline.describe_algorithm(base, strategies, **knobs)
     if algorithm == "custom":
@@ -142,7 +165,10 @@ def biconnected_components(
         normalized away by :class:`~repro.graph.edgelist.Graph`.
     algorithm:
         ``"sequential"`` (Tarjan), ``"tv-smp"``, ``"tv-opt"``,
-        ``"tv-filter"`` (the default — the paper's best performer) or
+        ``"tv-filter"`` (the default — the paper's best performer),
+        ``"fastsv"`` (TV-opt with FastSV min-hooking connectivity),
+        ``"fastbcc"`` (skeleton-based, O(n) extra space), ``"auto"``
+        (per-graph adaptive choice — see :mod:`repro.core.select`) or
         ``"custom"`` (a hybrid over :data:`CUSTOM_BASE`, meant to be used
         with ``strategies``).
     machine:

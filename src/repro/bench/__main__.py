@@ -29,6 +29,10 @@ The abl-* experiments enumerate the stage/strategy registry
                 sharded front-end with element-wise verification against a
                 single engine (repro.cluster; see docs/cluster.md);
                 writes results/BENCH_scale.json
+  variants      fastbcc/fastsv vs the paper set head to head (wall +
+                simulated, partition-checked) and the algorithm="auto"
+                selector audited against measured winners
+                (docs/algorithms.md); writes results/BENCH_variants.json
   all           run everything
 
 Scale: --n overrides the vertex count (default 100,000;
@@ -201,6 +205,18 @@ def _scale(args):
     if os.path.isdir("results"):
         _save_json(result, "results/BENCH_scale.json")
         print("wrote results/BENCH_scale.json")
+    return result
+
+
+@experiment("variants")
+def _variants(args):
+    result = runner.run_variants(n=args.n, seed=args.seed)
+    _emit(report.format_variants(result), args)
+    import os
+
+    if os.path.isdir("results"):
+        _save_json(result, "results/BENCH_variants.json")
+        print("wrote results/BENCH_variants.json")
     return result
 
 

@@ -19,6 +19,7 @@ __all__ = [
     "format_service",
     "format_service_sweep",
     "format_runtime",
+    "format_variants",
     "ascii_bars",
 ]
 
@@ -366,6 +367,58 @@ def format_runtime(result: dict) -> str:
         f"speedups are bounded by the core count above",
     ]
     return "\n".join(lines)
+
+
+def format_variants(result: dict) -> str:
+    """Variants head-to-head + the auto-selector audit per family.
+
+    ``result`` is the dict from :func:`repro.bench.runner.run_variants`.
+    The speedup column is wall-clock relative to tv-opt on the same
+    family (the paper-era engineering baseline the new variants are
+    measured against).
+    """
+    host = result["host"]
+    scale = result["scale"]
+    p = scale["p"]
+    rows = []
+    for fam in result["families"]:
+        base = next((r["wall_s"] for r in fam["rows"]
+                     if r["algorithm"] == "tv-opt"), None)
+        for r in fam["rows"]:
+            rows.append([
+                fam["family"], f"{fam['m'] / fam['n']:.0f}", r["algorithm"],
+                f"{r['wall_s'] * 1e3:,.1f}",
+                f"{base / r['wall_s']:.2f}x" if base else "-",
+                f"{r['sim_p1_s']:.3f}", f"{r[f'sim_p{p}_s']:.3f}",
+                "yes" if r["verified"] else "NO",
+            ])
+    audit = [
+        [fam["family"], fam["auto"]["chosen_wall"],
+         fam["auto"]["measured_winner_wall"],
+         "yes" if fam["auto"]["auto_matches_measured_wall"] else "NO",
+         fam["auto"]["chosen_simulated"]]
+        for fam in result["families"]
+    ]
+    return "\n".join([
+        table(
+            ["family", "m/n", "algorithm", "wall [ms]", "vs tv-opt",
+             "sim p=1 [s]", f"sim p={p} [s]", "verified"],
+            rows,
+            f"Algorithm variants — n={scale['n']:,}, best of "
+            f"{scale['repeats']}, all partitions checked vs sequential Tarjan",
+        ),
+        "",
+        table(
+            ["family", "auto (wall)", "measured winner", "match",
+             "auto (simulated)"],
+            audit,
+            "auto selector audit — closed-form choice vs measured wall winner",
+        ),
+        "",
+        f"auto matched the measured winner on "
+        f"{result['auto_matches_measured_wall']}/{result['num_families']} "
+        f"families; host: {host['cpu_count']} core(s), {host['platform']}",
+    ])
 
 
 def format_scale(result: dict) -> str:

@@ -59,6 +59,9 @@ __all__ = [
     "run_service_tail_bench",
     "SERVICE_BATCH_SIZES",
     "run_runtime_bench",
+    "run_variants",
+    "VARIANT_ALGORITHMS",
+    "VARIANT_FAMILIES",
 ]
 
 #: Densities (m/n) in the Fig. 3 / Fig. 4 grid.  The paper sweeps several
@@ -86,10 +89,16 @@ def _algorithms(include_sequential: bool = False):
 
     Fallbacks are disabled so every registered algorithm shows its own
     step profile at every density (the paper's figures do the same).
+    Post-paper variants (``in_figures=False``) are excluded: the fig3/fig4
+    grid — and the figures-guard baseline pinning its 272 numbers — is
+    exactly the paper's algorithm set.  Variants are measured by
+    :func:`run_variants` instead.
     """
     algos = []
     for name in pipeline.list_algorithms():
         spec = pipeline.get_algorithm(name)
+        if not spec.in_figures:
+            continue
         knobs = {"fallback_ratio": None} if spec.fallback_to is not None else {}
         algos.append((name, _pipeline_fn(spec, **knobs)))
     if include_sequential:
@@ -724,6 +733,118 @@ def run_dense(p: int = 12, seed: int = 42, n: int = 1500) -> list[AblationRow]:
                          fraction=frac, seq_sim_time_s=ms.time_s)
             rows.append(row)
     return rows
+
+
+# --------------------------------------------------------------------- #
+# algorithm variants (docs/algorithms.md): fastbcc/fastsv vs the paper set
+
+
+#: Variants measured head to head by :func:`run_variants`.
+VARIANT_ALGORITHMS = ("tv-opt", "tv-filter", "fastbcc", "fastsv")
+
+#: (family label, m/n density) grid: below, at, and well past the paper's
+#: m = 4n tv-filter fallback line.
+VARIANT_FAMILIES = (("gnm-sparse", 2), ("gnm-mid", 5), ("gnm-dense", 10))
+
+
+def run_variants(
+    n: int | None = None,
+    p: int = 12,
+    seed: int = 42,
+    repeats: int = 3,
+    algorithms=VARIANT_ALGORITHMS,
+    families=VARIANT_FAMILIES,
+) -> dict:
+    """Head-to-head variants bench + adaptive-selection audit.
+
+    For each graph family, every variant runs *as registered* (fallbacks
+    active — tv-filter really is tv-opt below m = 4n, exactly what a
+    caller selecting it gets) and records wall-clock (best of ``repeats``,
+    uninstrumented) plus simulated E4500 time at p=1 and ``p``; every
+    result is partition-checked against sequential Tarjan.
+
+    The ``auto`` audit then compares :func:`repro.core.select`'s
+    closed-form choice (both objectives) against the *measured* winner
+    among its candidates — ``auto_matches_measured_wall`` per family and
+    an aggregate count, the acceptance gate for the adaptive selector.
+    Written to results/BENCH_variants.json by
+    ``python -m repro.bench variants``.
+    """
+    import platform as _platform
+    import sys as _sys
+
+    from ..core import select
+
+    n = n or (default_n() if ("REPRO_BENCH_N" in os.environ
+                              or os.environ.get("REPRO_BENCH_SCALE"))
+              else 50_000)
+    fams = []
+    matches_wall = 0
+    for label, density in families:
+        g = gen.random_connected_gnm(n, density * n, seed=seed)
+        seq_machine = sequential_machine()
+        seq = tarjan_bcc(g, seq_machine)
+        rows = []
+        for name in algorithms:
+            best = math.inf
+            for _ in range(repeats):
+                res, wall = _stopwatch(
+                    lambda: pipeline.run_pipeline(g, name)
+                )
+                best = min(best, wall)
+            if not res.same_partition(seq):
+                raise AssertionError(f"{name} disagreed with sequential Tarjan")
+            m1 = sequential_machine()
+            pipeline.run_pipeline(g, name, m1)
+            mp = e4500(p)
+            pipeline.run_pipeline(g, name, mp)
+            rows.append({
+                "algorithm": name,
+                "wall_s": best,
+                "sim_p1_s": float(m1.time_s),
+                f"sim_p{p}_s": float(mp.time_s),
+                "verified": True,
+            })
+        wall_by_name = {r["algorithm"]: r["wall_s"] for r in rows}
+        candidates = [c for c in select.AUTO_CANDIDATES if c in wall_by_name]
+        measured_winner = min(candidates, key=wall_by_name.get)
+        chosen_wall = select.choose_algorithm(g.n, g.m, 1, objective="wall")
+        chosen_sim = select.choose_algorithm(g.n, g.m, p, objective="simulated")
+        match = chosen_wall == measured_winner
+        matches_wall += match
+        fams.append({
+            "family": label,
+            "n": int(g.n),
+            "m": int(g.m),
+            "density": density,
+            "seq_sim_s": float(seq_machine.time_s),
+            "rows": rows,
+            "auto": {
+                "chosen_wall": chosen_wall,
+                "chosen_simulated": chosen_sim,
+                "measured_winner_wall": measured_winner,
+                "auto_matches_measured_wall": bool(match),
+                "predicted_wall_s": {
+                    c: select.predict_cost_s(c, g.n, g.m, 1, objective="wall")
+                    for c in candidates
+                },
+            },
+        })
+    return {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": _platform.platform(),
+            "python": _sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "scale": {"n": int(n), "p": int(p), "repeats": int(repeats),
+                  "seed": int(seed)},
+        "algorithms": list(algorithms),
+        "auto_candidates": list(select.AUTO_CANDIDATES),
+        "families": fams,
+        "auto_matches_measured_wall": int(matches_wall),
+        "num_families": len(fams),
+    }
 
 
 # --------------------------------------------------------------------- #

@@ -81,7 +81,18 @@ def cmd_bcc(args) -> int:
     strategies = _parse_strategies(args.strategy) or None
     if args.explain:
         try:
-            print(describe_algorithm(args.algorithm, strategies=strategies))
+            if args.algorithm == "auto" and args.graph:
+                # with a graph in hand, show the actual per-graph decision
+                # followed by the chosen concrete pipeline
+                from .core import select
+
+                g = _read(args.graph)
+                chosen = select.choose_algorithm(g.n, g.m, args.p or 1)
+                print(select.explain(g.n, g.m, args.p or 1))
+                print()
+                print(describe_algorithm(chosen, strategies=strategies))
+            else:
+                print(describe_algorithm(args.algorithm, strategies=strategies))
         except (TypeError, ValueError) as exc:
             raise SystemExit(str(exc)) from None
         return 0

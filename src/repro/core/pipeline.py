@@ -137,6 +137,11 @@ class AlgorithmSpec:
         named algorithm runs instead (paper §4: "if m <= 4n, we can always
         fall back to TV-opt").  The ``fallback_ratio`` knob overrides the
         ratio per call; ``None`` disables the fallback.
+    in_figures:
+        Whether the algorithm belongs to the paper's fig3/fig4 sweep.
+        Post-paper variants (fastbcc, fastsv) register with ``False`` so
+        the figure benches — and the figures-guard baseline — keep exactly
+        the paper's algorithm set.
     """
 
     name: str
@@ -144,6 +149,7 @@ class AlgorithmSpec:
     regions: Mapping[str, str] = field(default_factory=dict)
     fallback_to: str | None = None
     fallback_ratio: float | None = None
+    in_figures: bool = True
     description: str = ""
 
 
@@ -176,6 +182,8 @@ class PipelineContext:
         "low",
         "high",
         "aux",
+        "sk_u",
+        "sk_v",
         "labels",
         "ccl",
     )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..primitives.connectivity import shiloach_vishkin
+from ..primitives.connectivity import fastsv, shiloach_vishkin
 from ..primitives.euler_tour import euler_tour_numbering
 from ..primitives.spanning_tree import (
     bfs_spanning_tree,
@@ -231,6 +231,7 @@ for _method, _desc in (
 @strategy(
     "label",
     "aux",
+    provides=("aux",),
     description="Algorithm 1: build the auxiliary graph over conditions 1–3",
 )
 def _label_aux(ctx):
@@ -247,6 +248,53 @@ def _label_aux(ctx):
         ctx.high,
         ctx.machine,
     )
+
+
+@strategy(
+    "label",
+    "skeleton",
+    provides=("skeleton",),
+    description="FAST-BCC skeleton: conditions 2–3 as vertex pairs, no aux graph",
+)
+def _label_skeleton(ctx):
+    """Skeleton-based labelling (Dong–Wang–Gu–Sun, arXiv:2301.01356).
+
+    Emits conditions 2 and 3 of R''c directly as *vertex* pairs of G — the
+    "skeleton" whose connectivity, read off at each tree edge's child
+    endpoint, already equals the biconnected-component partition.  Skips
+    the auxiliary-graph machinery entirely: no 3|L| staging bands, no
+    prefix-sum ``N`` numbering of nontree edges, no compaction — O(n)
+    extra space instead of O(m).  Condition 1 (each nontree edge joins its
+    deeper endpoint's tree edge) becomes a pure labelling rule applied by
+    the ``vertex`` cc strategy, so it costs no skeleton edges at all.
+    """
+    g, machine, numbering = ctx.g, ctx.machine, ctx.numbering
+    pre, parent, size = numbering.pre, numbering.parent, numbering.size
+    machine.spawn()
+
+    # condition 2: considered nontree (u, v) with u, v unrelated -> {u, v}
+    ntidx = np.flatnonzero(ctx.consider & ~ctx.tree_mask)
+    eu, ev = g.u[ntidx], g.v[ntidx]
+    pre_u, pre_v = pre[eu], pre[ev]
+    size_u, size_v = size[eu], size[ev]
+    machine.parallel(ntidx.size, Ops(contig=2, random=4))
+    u_anc_v = (pre_u <= pre_v) & (pre_v < pre_u + size_u)
+    v_anc_u = (pre_v <= pre_u) & (pre_u < pre_v + size_v)
+    unrel = ~u_anc_v & ~v_anc_u
+    machine.parallel(ntidx.size, Ops(alu=6))
+
+    # condition 3: tree (c, w), w not a root, subtree of c escapes w -> {c, w}
+    tidx = np.flatnonzero(ctx.consider & ctx.tree_mask)
+    c = ctx.child_of_edge[tidx]
+    w = parent[c]
+    w_nonroot = parent[w] != w
+    escapes = (ctx.low[c] < pre[w]) | (ctx.high[c] >= pre[w] + size[w])
+    sel = w_nonroot & escapes
+    machine.parallel(tidx.size, Ops(random=6, alu=4))
+
+    ctx.sk_u = np.concatenate([eu[unrel], c[sel]])
+    ctx.sk_v = np.concatenate([ev[unrel], w[sel]])
+    machine.parallel(ctx.sk_u.size, Ops(contig=2))
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +321,7 @@ def _finish_labels(ctx, labels, ccl):
 @strategy(
     "cc",
     "full",
+    requires=("aux",),
     description="TV step 6 as written: SV over all n + m' auxiliary vertices",
 )
 def _cc_full(ctx):
@@ -288,6 +337,7 @@ def _cc_full(ctx):
 @strategy(
     "cc",
     "pruned",
+    requires=("aux",),
     description="leaf-pruned CC: SV on tree-edge vertices only; nontree edges inherit",
 )
 def _cc_pruned(ctx):
@@ -296,6 +346,55 @@ def _cc_pruned(ctx):
     labels = np.full(m, -1, dtype=np.int64)
     n1 = aux.condition_counts[0]
     cc = shiloach_vishkin(g.n, aux.au[n1:], aux.av[n1:], machine)
+    ccl = cc.labels
+    tidx = np.flatnonzero(ctx.consider & ctx.tree_mask)
+    labels[tidx] = ccl[ctx.child_of_edge[tidx]]
+    ntidx = np.flatnonzero(ctx.nu_mask)
+    if ntidx.size:
+        eu, ev = g.u[ntidx], g.v[ntidx]
+        deeper = np.where(numbering.pre[eu] > numbering.pre[ev], eu, ev)
+        labels[ntidx] = ccl[deeper]
+    machine.parallel(m, Ops(random=3, alu=1))
+    _finish_labels(ctx, labels, ccl)
+
+
+@strategy(
+    "cc",
+    "fastsv",
+    requires=("aux",),
+    description="TV step 6 with FastSV min-hooking instead of SV grafting",
+)
+def _cc_fastsv(ctx):
+    g, aux, machine = ctx.g, ctx.aux, ctx.machine
+    labels = np.full(g.m, -1, dtype=np.int64)
+    cc = fastsv(aux.num_vertices, aux.au, aux.av, machine)
+    ccl = cc.labels[: g.n]
+    inside = np.flatnonzero(ctx.consider)
+    labels[inside] = cc.labels[aux.aux_id_of_edge[inside]]
+    _finish_labels(ctx, labels, ccl)
+
+
+@strategy(
+    "cc",
+    "vertex",
+    requires=("skeleton",),
+    knobs=("connectivity",),
+    ablate=({"connectivity": "fastsv"}, {"connectivity": "sv"}),
+    description="connectivity on G's own vertices over the skeleton edges",
+)
+def _cc_vertex(ctx):
+    """FAST-BCC step 6: run connectivity on the n-vertex skeleton.
+
+    Tree edges read their label at the child endpoint; nontree edges
+    inherit from the deeper endpoint (condition 1 as a labelling rule) —
+    the same component algebra as the pruned aux-CC, but with no aux
+    vertex ids anywhere.
+    """
+    g, machine, numbering = ctx.g, ctx.machine, ctx.numbering
+    m = g.m
+    labels = np.full(m, -1, dtype=np.int64)
+    conn = fastsv if ctx.knob("connectivity", "fastsv") == "fastsv" else shiloach_vishkin
+    cc = conn(g.n, ctx.sk_u, ctx.sk_v, machine)
     ccl = cc.labels
     tidx = np.flatnonzero(ctx.consider & ctx.tree_mask)
     labels[tidx] = ccl[ctx.child_of_edge[tidx]]
@@ -358,5 +457,43 @@ register_algorithm(
         fallback_to="tv-opt",
         fallback_ratio=4.0,
         description="edge filtering (Algorithm 2): run TV on T ∪ F only (§4)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# post-paper variants (excluded from the fig3/fig4 sweep by in_figures=False;
+# the figures-guard baseline pins exactly the paper's algorithm set)
+
+
+register_algorithm(
+    AlgorithmSpec(
+        name="fastsv",
+        strategies={
+            "spanning": "traversal",
+            "filter": "none",
+            "euler": "prefix",
+            "lowhigh": "sweep",
+            "label": "aux",
+            "cc": "fastsv",
+        },
+        in_figures=False,
+        description="TV-opt with FastSV min-hooking connectivity in step 6 (arXiv:1910.05971)",
+    )
+)
+
+register_algorithm(
+    AlgorithmSpec(
+        name="fastbcc",
+        strategies={
+            "spanning": "bfs",
+            "filter": "none",
+            "euler": "prefix",
+            "lowhigh": "sweep",
+            "label": "skeleton",
+            "cc": "vertex",
+        },
+        in_figures=False,
+        description="skeleton-based BCC, O(n) extra space, no aux graph (arXiv:2301.01356)",
     )
 )

@@ -10,6 +10,7 @@ from .compaction import pack, pack_indices
 from .connectivity import (
     ConnectivityResult,
     connected_components,
+    fastsv,
     hirschberg_chandra_sarwate,
     shiloach_vishkin,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "sample_sort",
     "sample_argsort",
     "shiloach_vishkin",
+    "fastsv",
     "hirschberg_chandra_sarwate",
     "connected_components",
     "ConnectivityResult",

@@ -31,6 +31,7 @@ from ..smp import Machine, Ops, resolve_machine
 __all__ = [
     "ConnectivityResult",
     "shiloach_vishkin",
+    "fastsv",
     "hirschberg_chandra_sarwate",
     "connected_components",
 ]
@@ -190,6 +191,79 @@ def _shortcut(D: np.ndarray, machine: Machine) -> int:
             return rounds
         D[:] = Dn
         rounds += 1
+
+
+def fastsv(
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    machine: Machine | None = None,
+    *,
+    team=None,
+) -> ConnectivityResult:
+    """FastSV connectivity (Zhang–Azad–Hu, arXiv:1910.05971).
+
+    A min-based reformulation of Shiloach–Vishkin: every round applies,
+    from one start-of-round snapshot of the parent array ``f``,
+
+    * *stochastic hooking*  — ``f[f[u]] <- min(f[f[u]], f[f[v]])``,
+    * *aggressive hooking*  — ``f[u]    <- min(f[u],    f[f[v]])``,
+    * *shortcutting*        — ``f[u]    <- min(f[u],    f[f[u]])``,
+
+    over both arc directions, and stops when ``f`` is stable.  Because
+    every update is a ``min`` over values derived from the same snapshot,
+    the result is independent of update order — no CRCW arbitration is
+    needed, which is what makes the parallel kernel
+    (:func:`repro.runtime.kernels.fastsv`) bit-identical across backends
+    and worker counts by construction rather than by replayed tie-breaks.
+    At the fixpoint every tree is a star and adjacent vertices share a
+    root, so ``labels`` are the per-component *minimum* vertex ids.
+
+    Unlike SV's arbitrary-graft schedule, min-hooking has no well-defined
+    "winning edge" per merge, so ``forest_edges`` is always empty — use
+    :func:`shiloach_vishkin` (or HCS) when a spanning forest is needed.
+
+    When an execution backend is active (``team`` passed explicitly, or
+    published via :func:`repro.runtime.active_team`), dispatches to the
+    backend kernel — identical machine charges and bit-identical labels.
+    """
+    if team is None:
+        team = current_team()
+    if team is not None and 2 * np.asarray(u).size >= team.grain:
+        from ..runtime import kernels
+
+        return kernels.fastsv(n, u, v, team=team, machine=machine)
+    machine = resolve_machine(machine)
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    m = u.size
+    f = np.arange(n, dtype=np.int64)
+    if n == 0:
+        return ConnectivityResult(f, 0, np.empty(0, np.int64), 0)
+    machine.spawn()
+    if m == 0:
+        return ConnectivityResult(f, n, np.empty(0, np.int64), 0)
+    t = np.concatenate([u, v])
+    h = np.concatenate([v, u])
+    rounds = 0
+    while True:
+        rounds += 1
+        fg = f[f]  # grandparents: the round's shared snapshot
+        machine.parallel(n, Ops(random=2))
+        ft = f[t]
+        gh = fg[h]
+        machine.parallel(t.size, Ops(contig=2, random=2))
+        fn = fg.copy()  # shortcutting seeds the round's minima
+        np.minimum.at(fn, ft, gh)  # stochastic hooking onto parents
+        np.minimum.at(fn, t, gh)  # aggressive hooking onto the vertex itself
+        machine.parallel(t.size, Ops(random=4, alu=2))
+        machine.parallel(n, Ops(contig=2))
+        if np.array_equal(fn, f):
+            break
+        f = fn
+    num_components = int((f == np.arange(n)).sum())
+    machine.parallel(n, Ops(contig=2))
+    return ConnectivityResult(f, num_components, np.empty(0, np.int64), rounds)
 
 
 def connected_components(g: Graph, machine: Machine | None = None) -> ConnectivityResult:

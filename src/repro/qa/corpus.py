@@ -24,6 +24,9 @@ from ..graph import Graph, generators as gen
 __all__ = [
     "bridge_chain",
     "glued_cliques",
+    "block_path",
+    "deep_blockcut_tree",
+    "dense_core_pendants",
     "disconnected_union",
     "messy_edges_graph",
     "named_corpus",
@@ -79,6 +82,82 @@ def glued_cliques(sizes, *, hub: bool = False) -> tuple[Graph, int]:
         vs.append(labels[iv])
         nxt += k - 1
     return Graph(nxt, np.concatenate(us), np.concatenate(vs)), len(sizes)
+
+
+def block_path(num_blocks: int, block_size: int = 3) -> tuple[Graph, int]:
+    """A long path of blocks: triangles (or k-cliques) chained at cut vertices.
+
+    The block-cut tree is a path of ``2*num_blocks - 1`` nodes — the shape
+    FAST-BCC's skeleton condition 3 must chain through one tree edge at a
+    time, and where a wrong "subtree escapes" test shears the path into
+    extra components.  Returns ``(graph, expected_num_bccs)``.
+    """
+    if num_blocks < 1 or block_size < 2:
+        raise ValueError("need num_blocks >= 1 and block_size >= 2")
+    return glued_cliques([block_size] * num_blocks)
+
+
+def deep_blockcut_tree(
+    depth: int, fanout: int = 2, cycle_len: int = 3
+) -> tuple[Graph, int]:
+    """A block-cut tree of controlled depth built from cycles.
+
+    Level by level, every frontier vertex sprouts ``fanout`` cycles and
+    the far vertex of each new cycle joins the next frontier, so the
+    block-cut tree has depth ``2 * depth`` (alternating cut vertices and
+    blocks).  ``fanout=1`` gives a pure depth chain; ``fanout>=2`` grows
+    ``fanout**depth`` leaf blocks.  Returns ``(graph, expected_num_bccs)``.
+    """
+    if depth < 1 or fanout < 1 or cycle_len < 3:
+        raise ValueError("need depth >= 1, fanout >= 1 and cycle_len >= 3")
+    us: list[int] = []
+    vs: list[int] = []
+    frontier = [0]
+    nxt = 1
+    blocks = 0
+    for _ in range(depth):
+        new_frontier = []
+        for attach in frontier:
+            for _ in range(fanout):
+                ring = [attach] + list(range(nxt, nxt + cycle_len - 1))
+                nxt += cycle_len - 1
+                for i in range(cycle_len):
+                    us.append(ring[i])
+                    vs.append(ring[(i + 1) % cycle_len])
+                blocks += 1
+                new_frontier.append(ring[-1])
+        frontier = new_frontier
+    return Graph(nxt, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64)), blocks
+
+
+def dense_core_pendants(
+    core_n: int,
+    frac: float = 0.8,
+    pendants: int = 4,
+    pendant_len: int = 3,
+    seed: int = 0,
+) -> Graph:
+    """A dense core with pendant paths (trees) hanging off random vertices.
+
+    Mixes the two extremes in one instance: a near-clique block (condition
+    2 dominates — almost every nontree edge is an unrelated pair) with
+    tree-only fringes where every edge is its own single-edge block
+    (condition 3 never fires past the attachment).  Exactly the shape
+    where a skeleton that over- or under-collects edges silently merges a
+    pendant into the core.
+    """
+    core = gen.dense_gnm(core_n, frac, seed=seed)
+    us = [core.u]
+    vs = [core.v]
+    nxt = core.n
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(max(0, int(pendants))):
+        attach = int(rng.integers(0, core_n))
+        path = [attach] + list(range(nxt, nxt + pendant_len))
+        nxt += pendant_len
+        us.append(np.asarray(path[:-1], dtype=np.int64))
+        vs.append(np.asarray(path[1:], dtype=np.int64))
+    return Graph(nxt, np.concatenate(us), np.concatenate(vs))
 
 
 def disconnected_union(graphs) -> Graph:
@@ -146,6 +225,11 @@ def named_corpus() -> list[tuple[str, Graph]]:
         ("grid-4x5", gen.grid_graph(4, 5)),
         ("torus-3x4", gen.torus_graph(3, 4)),
         # articulation-point structures
+        ("block-path-24", block_path(24)[0]),
+        ("deep-bct", deep_blockcut_tree(12, fanout=1, cycle_len=4)[0]),
+        ("deep-bct-fan", deep_blockcut_tree(4, fanout=2, cycle_len=3)[0]),
+        ("dense-core-pendants",
+         dense_core_pendants(12, 0.8, pendants=5, pendant_len=3, seed=14)),
         ("cliques-path", gen.cliques_on_a_path(3, 4)[0]),
         ("glued-cliques", k7_chain),
         ("clique-hub", glued_cliques([3, 4, 3], hub=True)[0]),
@@ -188,6 +272,9 @@ _FAMILIES = (
     ("block-graph", 0.14),
     ("bridge-chain", 0.08),
     ("glued-cliques", 0.08),
+    ("block-path", 0.06),
+    ("deep-bct", 0.06),
+    ("dense-pendants", 0.05),
     ("star", 0.05),
     ("path", 0.05),
     ("dense", 0.06),
@@ -221,6 +308,19 @@ def random_graph(rng: np.random.Generator, max_n: int = 64) -> tuple[str, Graph]
     if family == "glued-cliques":
         sizes = [int(rng.integers(2, 6)) for _ in range(max(1, n // 6))]
         return family, glued_cliques(sizes, hub=bool(rng.integers(0, 2)))[0]
+    if family == "block-path":
+        return family, block_path(max(2, n // 3), block_size=int(rng.integers(2, 5)))[0]
+    if family == "deep-bct":
+        fanout = int(rng.integers(1, 3))
+        depth = max(1, min(n // 3, 16 if fanout == 1 else 4))
+        return family, deep_blockcut_tree(
+            depth, fanout=fanout, cycle_len=int(rng.integers(3, 6)))[0]
+    if family == "dense-pendants":
+        nn = max(5, min(n, 16))
+        return family, dense_core_pendants(
+            nn, float(rng.uniform(0.5, 1.0)),
+            pendants=int(rng.integers(1, 5)),
+            pendant_len=int(rng.integers(1, 5)), seed=seed)
     if family == "star":
         return family, gen.star_graph(n)
     if family == "path":

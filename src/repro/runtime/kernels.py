@@ -44,7 +44,7 @@ from ..primitives.connectivity import ConnectivityResult
 from ..smp import Machine, Ops, resolve_machine
 from .team import Team
 
-__all__ = ["prefix_scan", "shiloach_vishkin", "bfs_forest"]
+__all__ = ["prefix_scan", "shiloach_vishkin", "fastsv", "bfs_forest"]
 
 
 # ===================================================================== #
@@ -253,6 +253,81 @@ def shiloach_vishkin(
     machine.parallel(n, Ops(contig=2))
     team.release(D, Dn, changed, counts, t, h, eid, c_root, c_newp, c_wid, live)
     return ConnectivityResult(labels, num_components, forest, rounds)
+
+
+# ===================================================================== #
+# FastSV connectivity (min-based hooking)
+# ===================================================================== #
+
+
+def _fastsv_grand(rank, lo, hi, f, fg):
+    """Grandparent snapshot: pure gather from ``f`` into this rank's
+    private slice of ``fg``."""
+    fg[lo:hi] = f[f[lo:hi]]
+
+
+def _fastsv_gather(rank, lo, hi, f, fg, t, h, ft, gh):
+    """Per-arc gathers for the hooking phases (rank-private slices)."""
+    ft[lo:hi] = f[t[lo:hi]]
+    gh[lo:hi] = fg[h[lo:hi]]
+
+
+def fastsv(
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    team: Team,
+    machine: Machine | None = None,
+) -> ConnectivityResult:
+    """FastSV connectivity on a worker team.
+
+    The parallel phases are pure gathers (the grandparent snapshot and the
+    per-arc ``f[t]`` / ``f[f[h]]`` reads); the calling rank then applies
+    the three min-updates (shortcut seed, stochastic hooking, aggressive
+    hooking) with ``np.minimum.at``.  Because ``min`` is
+    order-independent, the output is bit-identical to
+    :func:`repro.primitives.connectivity.fastsv` on every backend and
+    worker count — determinism by algebra, not by replayed arbitration.
+    Charges the same machine operations as the vectorized primitive.
+    """
+    machine = resolve_machine(machine)
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    m = u.size
+    if n == 0:
+        return ConnectivityResult(np.arange(n, dtype=np.int64), 0, np.empty(0, np.int64), 0)
+    machine.spawn()
+    if m == 0:
+        return ConnectivityResult(np.arange(n, dtype=np.int64), n, np.empty(0, np.int64), 0)
+    f = team.share(np.arange(n, dtype=np.int64))
+    fg = team.empty(n, np.int64)
+    t = team.share(np.concatenate([u, v]))
+    h = team.share(np.concatenate([v, u]))
+    A = t.size
+    ft = team.empty(A, np.int64)
+    gh = team.empty(A, np.int64)
+    rounds = 0
+    while True:
+        rounds += 1
+        team.parallel_for(n, _fastsv_grand, f, fg)
+        machine.parallel(n, Ops(random=2))
+        team.parallel_for(A, _fastsv_gather, f, fg, t, h, ft, gh)
+        machine.parallel(A, Ops(contig=2, random=2))
+        # combine on the calling rank: exactly the vectorized min-scatters
+        fn = np.array(fg, copy=True)
+        np.minimum.at(fn, np.asarray(ft), np.asarray(gh))
+        np.minimum.at(fn, np.asarray(t), np.asarray(gh))
+        machine.parallel(A, Ops(random=4, alu=2))
+        machine.parallel(n, Ops(contig=2))
+        if np.array_equal(fn, np.asarray(f)):
+            break
+        f[:] = fn
+    labels = np.array(f, copy=True)
+    num_components = int((labels == np.arange(n)).sum())
+    machine.parallel(n, Ops(contig=2))
+    team.release(f, fg, t, h, ft, gh)
+    return ConnectivityResult(labels, num_components, np.empty(0, np.int64), rounds)
 
 
 # ===================================================================== #

@@ -6,7 +6,7 @@ measured operation counts to (see DESIGN.md §2 for the substitution
 rationale).
 """
 
-from .cost_model import FLAT_UNIT_COSTS, SUN_E4500, CostTable, Ops
+from .cost_model import FLAT_UNIT_COSTS, SUN_E4500, VECTORIZED_HOST, CostTable, Ops
 from .counters import Counters
 from .machine import (
     NULL_MACHINE,
@@ -23,6 +23,7 @@ __all__ = [
     "CostTable",
     "SUN_E4500",
     "FLAT_UNIT_COSTS",
+    "VECTORIZED_HOST",
     "Counters",
     "Machine",
     "MachineReport",

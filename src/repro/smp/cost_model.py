@@ -37,7 +37,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["Ops", "CostTable", "SUN_E4500", "FLAT_UNIT_COSTS"]
+__all__ = ["Ops", "CostTable", "SUN_E4500", "FLAT_UNIT_COSTS", "VECTORIZED_HOST"]
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,24 @@ SUN_E4500 = CostTable(
     alu_ns=2.5,
     barrier_base_ns=4_000.0,
     barrier_log_ns=2_000.0,
+    spawn_ns=10_000.0,
+)
+
+#: Effective per-element weights for *this reproduction's vectorized numpy
+#: execution*, fitted by least squares of measured wall time against the
+#: simulator's operation counters across the TV/FAST-BCC variants (see
+#: ``repro.core.select``).  The ratio inverts the paper machine's: full-array
+#: contiguous passes carry the cost of materialized temporaries, while
+#: fancy-indexed gathers amortize over the vectorized call.  Used by the
+#: ``algorithm="auto"`` selector's wall-cost objective; not a
+#: microarchitectural model.
+VECTORIZED_HOST = CostTable(
+    name="vectorized-host",
+    contig_ns=9.0,
+    random_ns=1.05,
+    alu_ns=0.1,
+    barrier_base_ns=2_000.0,
+    barrier_log_ns=500.0,
     spawn_ns=10_000.0,
 )
 

@@ -29,25 +29,26 @@ def _valid_combinations():
         for filt in list_strategies("filter"):
             for euler in list_strategies("euler"):
                 for lowhigh in list_strategies("lowhigh"):
-                    for cc in list_strategies("cc"):
-                        chosen = {
-                            "spanning": spanning.name,
-                            "filter": filt.name,
-                            "euler": euler.name,
-                            "lowhigh": lowhigh.name,
-                            "label": "aux",
-                            "cc": cc.name,
-                        }
-                        provided = set()
-                        ok = True
-                        for stage in STAGE_ORDER:
-                            strat = get_strategy(stage, chosen[stage])
-                            if not strat.requires <= provided:
-                                ok = False
-                                break
-                            provided |= strat.provides
-                        if ok:
-                            combos.append(chosen)
+                    for label in list_strategies("label"):
+                        for cc in list_strategies("cc"):
+                            chosen = {
+                                "spanning": spanning.name,
+                                "filter": filt.name,
+                                "euler": euler.name,
+                                "lowhigh": lowhigh.name,
+                                "label": label.name,
+                                "cc": cc.name,
+                            }
+                            provided = set()
+                            ok = True
+                            for stage in STAGE_ORDER:
+                                strat = get_strategy(stage, chosen[stage])
+                                if not strat.requires <= provided:
+                                    ok = False
+                                    break
+                                provided |= strat.provides
+                            if ok:
+                                combos.append(chosen)
     return combos
 
 
@@ -56,7 +57,9 @@ COMBOS = _valid_combinations()
 
 class TestRegistry:
     def test_builtin_algorithms_registered(self):
-        assert pipeline.list_algorithms() == ["tv-smp", "tv-opt", "tv-filter"]
+        assert pipeline.list_algorithms() == [
+            "tv-smp", "tv-opt", "tv-filter", "fastsv", "fastbcc"
+        ]
 
     def test_builtin_specs_are_pure_data(self):
         for name in pipeline.list_algorithms():
@@ -65,9 +68,11 @@ class TestRegistry:
             resolve_strategies(spec)  # self-consistent
 
     def test_combination_count_covers_registry(self):
-        # 2 unrooted spanning x 1 euler x (3 lowhigh x 2 cc) x 1 filter
-        # + 2 rooted spanning x 2 euler x (3 lowhigh x 2 cc) x 2 filter
-        assert len(COMBOS) == 2 * 1 * 6 * 1 + 2 * 2 * 6 * 2
+        # label x cc admits 4 pairs: aux x {full, pruned, fastsv} + skeleton
+        # x {vertex}; with 3 lowhigh strategies that is 12 per block.
+        # 2 unrooted spanning x 1 euler x (3 lowhigh x 4 label/cc) x 1 filter
+        # + 2 rooted spanning x 2 euler x (3 lowhigh x 4 label/cc) x 2 filter
+        assert len(COMBOS) == 2 * 1 * 12 * 1 + 2 * 2 * 12 * 2
 
     def test_unknown_lookups_raise(self):
         with pytest.raises(ValueError, match="unknown pipeline stage"):

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.graph import Graph, generators as gen
 from repro.graph.validate import is_spanning_tree
-from repro.primitives import connected_components, shiloach_vishkin
+from repro.primitives import connected_components, fastsv, shiloach_vishkin
 from repro.primitives.spanning_tree import root_tree_edges
 from repro.smp import FLAT_UNIT_COSTS, Machine
 
@@ -121,6 +121,55 @@ class TestConnectivity:
             assert res.num_components == nx_component_count(g)
             labels_match_networkx(g, res.labels)
             assert res.forest_edges.size == g.n - res.num_components
+
+
+class TestFastSV:
+    def test_matches_networkx(self, corpus):
+        for name, g in corpus:
+            res = fastsv(g.n, g.u, g.v)
+            assert res.num_components == nx_component_count(g), name
+            labels_match_networkx(g, res.labels)
+
+    def test_labels_match_sv_minima(self, corpus):
+        # SV's min-hooking and FastSV both converge on component minima,
+        # so the label arrays agree bit for bit (not just the partition)
+        for name, g in corpus:
+            sv = shiloach_vishkin(g.n, g.u, g.v)
+            fs = fastsv(g.n, g.u, g.v)
+            np.testing.assert_array_equal(fs.labels, sv.labels, err_msg=name)
+
+    def test_no_forest_edges(self, corpus):
+        # FastSV never materializes a spanning forest — documented contract
+        for name, g in corpus:
+            assert fastsv(g.n, g.u, g.v).forest_edges.size == 0, name
+
+    def test_rounds_positive_and_bounded(self):
+        g = gen.random_connected_gnm(256, 512, seed=1)
+        res = fastsv(g.n, g.u, g.v)
+        assert 1 <= res.rounds <= g.n
+
+    def test_empty_and_edgeless(self):
+        assert fastsv(0, np.array([]), np.array([])).num_components == 0
+        res = fastsv(5, np.array([]), np.array([]))
+        assert res.num_components == 5
+        np.testing.assert_array_equal(res.labels, np.arange(5))
+
+    def test_charges_accumulate(self):
+        g = gen.random_connected_gnm(100, 300, seed=4)
+        m = Machine(4, FLAT_UNIT_COSTS)
+        fastsv(g.n, g.u, g.v, m)
+        assert m.totals.work_total > 0
+
+    @given(st.integers(2, 40), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_hypothesis_random_edge_sets(self, n, data):
+        m = data.draw(st.integers(0, min(n * (n - 1) // 2, 3 * n)))
+        g = gen.random_gnm(n, m, seed=data.draw(st.integers(0, 10**6)))
+        res = fastsv(g.n, g.u, g.v)
+        assert res.num_components == nx_component_count(g)
+        labels_match_networkx(g, res.labels)
+        sv = shiloach_vishkin(g.n, g.u, g.v)
+        np.testing.assert_array_equal(res.labels, sv.labels)
 
 
 class TestHCS:

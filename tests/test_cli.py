@@ -40,7 +40,8 @@ class TestBcc:
 
     def test_all_algorithms(self, graph_file, capsys):
         path, _ = graph_file
-        for algo in ("sequential", "tv-smp", "tv-opt", "tv-filter", "custom"):
+        for algo in ("sequential", "tv-smp", "tv-opt", "tv-filter",
+                     "fastsv", "fastbcc", "auto", "custom"):
             assert main(["bcc", path, "--algorithm", algo]) == 0
 
     def test_strategy_overrides(self, graph_file, capsys):
@@ -72,6 +73,28 @@ class TestBcc:
                      "--strategy", "lowhigh=rmq"]) == 0
         out = capsys.readouterr().out
         assert "rmq" in out
+
+    def test_explain_auto_no_graph_prints_policy(self, capsys):
+        assert main(["bcc", "--algorithm", "auto", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive per-graph selection" in out
+
+    def test_explain_auto_with_graph_prints_decision(self, graph_file, capsys):
+        from repro.core import select
+
+        path, g = graph_file
+        assert main(["bcc", path, "--algorithm", "auto", "--explain"]) == 0
+        out = capsys.readouterr().out
+        # the per-graph decision table, then the chosen pipeline description
+        assert f"auto: n={g.n} m={g.m}" in out
+        assert "<- chosen" in out
+        assert select.choose_algorithm(g.n, g.m, 1) in out
+
+    def test_auto_verify_runs_chosen_algorithm(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["bcc", path, "--algorithm", "auto", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against sequential Tarjan" in out
 
     def test_bcc_without_graph_errors(self):
         with pytest.raises(SystemExit, match="graph file is required"):
