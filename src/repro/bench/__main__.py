@@ -19,9 +19,11 @@ The abl-* experiments enumerate the stage/strategy registry
   dense         Woo–Sahni regime: 70%/90% of K_n
   service       query-service workload: throughput, latency percentiles,
                 cache behaviour, a batch-size sweep of the vectorized
-                bulk query path, and a sync-vs-async index-maintenance
-                tail-latency comparison (repro.service; see
-                docs/service.md); writes results/BENCH_service.json (v3)
+                bulk query path, a sync-vs-async index-maintenance
+                tail-latency comparison, and an incremental-vs-full
+                rebuild comparison under intra-block churn
+                (repro.service; see docs/service.md); writes
+                results/BENCH_service.json (v4)
   runtime       execution backends: kernel + end-to-end wall-clock across
                 serial/threads/processes at p in {1,2,4} (docs/runtime.md);
                 writes results/BENCH_runtime.json
@@ -172,7 +174,7 @@ def _service(args):
     _emit(report.format_service_sweep(sweep), args)
     tail = runner.run_service_tail_bench(n=args.n, seed=args.seed)
     _emit(report.format_service_tail(tail), args)
-    result = {"version": 3, "workload": rep.as_dict(), "batch_sweep": sweep,
+    result = {"version": 4, "workload": rep.as_dict(), "batch_sweep": sweep,
               "tail_latency": tail}
     import os
 

@@ -18,6 +18,8 @@ __all__ = [
     "format_ablation",
     "format_service",
     "format_service_sweep",
+    "format_service_tail",
+    "format_incremental_maintenance",
     "format_runtime",
     "format_variants",
     "ascii_bars",
@@ -279,6 +281,52 @@ def format_service_tail(tail: dict) -> str:
     lines.append(
         f"freshness=fresh bit-identity vs recompute-from-scratch: "
         f"verified={fresh['verified']} ({fresh['mismatches']} mismatches)"
+    )
+    inc = tail.get("incremental_maintenance")
+    if inc:
+        lines.append("")
+        lines.append(format_incremental_maintenance(inc))
+    return "\n".join(lines)
+
+
+def format_incremental_maintenance(inc: dict) -> str:
+    """Incremental-vs-full maintenance comparison on the intra-block
+    churn leg of :func:`repro.bench.runner.run_service_tail_bench`."""
+    headers = [
+        "maintenance", "wall [s]", "ops/s", "p99 [us]", "incr", "full",
+        "rebuild wall [s]", "max stale [ms]",
+    ]
+    body = []
+    for label, leg in (
+        ("full (always rebuild)", inc["full"]),
+        ("auto (delta log)", inc["auto"]),
+        ("auto + verify", inc["auto_verify"]),
+    ):
+        body.append([
+            label, leg["wall_s"], f"{leg['ops_per_s']:,.0f}",
+            f"{leg['query_p99_us']:.1f}", leg["rebuilds_incremental"],
+            leg["rebuilds_full"], f"{leg['rebuild_wall_s']:.3f}",
+            f"{leg['max_staleness_ms']:.1f}",
+        ])
+    title = (
+        f"Incremental maintenance — {inc['graph_family']} "
+        f"n={inc['graph_n']:,} m={inc['graph_m']:,}, {inc['ops']:,} ops at "
+        f"{inc['update_frac']:.0%} add-only updates, locality="
+        f"{inc['update_locality']:g}"
+    )
+    lines = [table(headers, body, title)]
+    mean_full = inc["mean_full_rebuild_s"]
+    mean_inc = inc["mean_incremental_rebuild_s"]
+    speedup = inc["mean_rebuild_speedup"]
+    if speedup is not None:
+        lines.append(
+            f"mean rebuild wall: full {mean_full * 1e3:.2f} ms vs "
+            f"incremental {mean_inc * 1e3:.3f} ms -> {speedup:.1f}x cheaper"
+        )
+    verify = inc["auto_verify"]
+    lines.append(
+        f"auto vs recompute-from-scratch oracle: verified="
+        f"{verify['verified']} ({verify['mismatches']} mismatches)"
     )
     return "\n".join(lines)
 

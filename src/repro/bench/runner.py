@@ -620,7 +620,24 @@ def _tail_leg(rep) -> dict:
         "max_staleness_ms": rep.max_staleness_ms,
         "verified": rep.verified,
         "mismatches": rep.mismatches,
+        "maintenance": rep.maintenance,
+        "rebuilds_incremental": rep.rebuilds_incremental,
+        "rebuilds_full": rep.rebuilds_full,
+        "rebuild_wall_by_strategy": dict(rep.rebuild_wall_by_strategy),
+        "rebuild_errors": rep.rebuild_errors,
     }
+
+
+def _mean_rebuild_wall_s(leg: dict, incremental: bool) -> float | None:
+    """Mean per-rebuild wall from a leg's per-strategy accounting."""
+    by_strategy = leg["rebuild_wall_by_strategy"]
+    if incremental:
+        count = leg["rebuilds_incremental"]
+        wall = sum(s for k, s in by_strategy.items() if k != "full")
+    else:
+        count = leg["rebuilds_full"]
+        wall = by_strategy.get("full", 0.0)
+    return wall / count if count else None
 
 
 def run_service_tail_bench(
@@ -652,12 +669,21 @@ def run_service_tail_bench(
         scratch — async maintenance with ``freshness="fresh"`` must be
         bit-identical to sync (``mismatches`` = 0).
 
+    A second ``incremental_maintenance`` section runs an intra-block-
+    dominated churn stream (watts-strogatz instance, add-only update
+    mix, ``update_locality=1.0`` so every add lands inside one
+    biconnected block) through async engines with ``maintenance=full``
+    vs ``auto`` vs ``auto`` + ``--verify``: the delta log lets auto
+    patch the last snapshot via ``extend_index`` instead of rebuilding,
+    and ``mean_rebuild_speedup`` reports mean-full-wall /
+    mean-incremental-wall (the acceptance floor is 3x).
+
     All three legs run uninstrumented (no simulated machine — async
     engines forbid one, and the comparison is pure wall-clock).  The
     headline numbers are ``tail_collapse_p99`` (sync p99 / async p99)
     and ``async_p99_over_p50`` (how flat the async tail is; the target
     is within ~10x of p50).  Written into results/BENCH_service.json
-    (v3) under ``"tail_latency"``.
+    (v4) under ``"tail_latency"``.
 
     The default staleness budget (1 s) deliberately exceeds one full
     rebuild at this scale: a budget smaller than a rebuild forces a
@@ -673,7 +699,12 @@ def run_service_tail_bench(
     """
     import os as _os
 
-    from ..service import WorkloadSpec, generate_workload, mix_with_update_fraction
+    from ..service import (
+        DEFAULT_MIX,
+        WorkloadSpec,
+        generate_workload,
+        mix_with_update_fraction,
+    )
     from ..service.driver import run_workload
 
     if n is None:
@@ -699,6 +730,57 @@ def run_service_tail_bench(
         workload, rebuild_mode="async", coalesce_ms=coalesce_ms,
         staleness_budget_ms=staleness_budget_ms, verify=True, **common,
     )
+    # -- incremental maintenance: intra-block churn, add-only updates -- #
+    # Adds with update_locality=1.0 always land inside one biconnected
+    # block of the initial graph, so every pending delta classifies
+    # intra-block and the auto planner can extend the last snapshot.
+    churn_mix = mix_with_update_fraction(
+        update_frac, base={**DEFAULT_MIX, "remove_edges": 0.0}
+    )
+    churn_spec = WorkloadSpec(
+        num_ops=ops,
+        seed=seed + 1,
+        mix=churn_mix,
+        edge_bias=edge_bias,
+        update_locality=1.0,
+        graph={"family": "watts-strogatz", "n": int(n), "m": int(2 * n),
+               "seed": seed},
+    )
+    churn = generate_workload(churn_spec)
+    churn_common = dict(
+        rebuild_mode="async", coalesce_ms=coalesce_ms,
+        staleness_budget_ms=staleness_budget_ms, **common,
+    )
+    full_rep = run_workload(churn, maintenance="full", **churn_common)
+    auto_rep = run_workload(churn, maintenance="auto", **churn_common)
+    auto_verify_rep = run_workload(
+        churn, maintenance="auto", verify=True, **churn_common
+    )
+    full_leg = _tail_leg(full_rep)
+    auto_leg = _tail_leg(auto_rep)
+    mean_full = _mean_rebuild_wall_s(full_leg, incremental=False)
+    mean_inc = _mean_rebuild_wall_s(auto_leg, incremental=True)
+    incremental = {
+        "graph_family": "watts-strogatz",
+        "graph_n": int(n),
+        "graph_m": int(full_rep.graph_m),
+        "ops": int(ops),
+        "update_frac": update_frac,
+        "update_locality": 1.0,
+        "full": full_leg,
+        "auto": auto_leg,
+        "auto_verify": _tail_leg(auto_verify_rep),
+        "mean_full_rebuild_s": mean_full,
+        "mean_incremental_rebuild_s": mean_inc,
+        "mean_rebuild_speedup": (
+            mean_full / mean_inc if mean_full and mean_inc else None
+        ),
+        "staleness_ratio": (
+            full_rep.max_staleness_ms / auto_rep.max_staleness_ms
+            if auto_rep.max_staleness_ms else None
+        ),
+    }
+
     async_p99 = async_rep.query_p99_us or 1.0
     async_p50 = async_rep.query_p50_us or 1.0
     return {
@@ -718,6 +800,7 @@ def run_service_tail_bench(
         / (async_rep.query_p95_us or 1.0),
         "async_p99_over_p50": async_rep.query_p99_us / async_p50,
         "async_p95_over_p50": async_rep.query_p95_us / async_p50,
+        "incremental_maintenance": incremental,
     }
 
 

@@ -61,6 +61,14 @@ GENERATORS = {
     "barabasi-albert": lambda args: gen.barabasi_albert(
         args.n, k=max(1, round(args.m / max(args.n, 1))), seed=args.seed
     ),
+    # m is a target edge count, mapped to the (even) ring degree k ~ 2m/n
+    "watts-strogatz": lambda args: gen.watts_strogatz(
+        args.n,
+        k=min(max(2, 2 * round(args.m / max(args.n, 1))),
+              (args.n - 1) - (args.n - 1) % 2),
+        beta=args.beta,
+        seed=args.seed,
+    ),
 }
 
 
@@ -194,7 +202,8 @@ def cmd_bcc(args) -> int:
 
 #: Families parameterized by a target edge count: --m is mandatory for
 #: these (the default --m 0 would yield a degenerate instance).
-EDGE_COUNT_FAMILIES = ("connected-gnm", "gnm", "rmat", "barabasi-albert")
+EDGE_COUNT_FAMILIES = ("connected-gnm", "gnm", "rmat", "barabasi-albert",
+                       "watts-strogatz")
 
 
 def cmd_generate(args) -> int:
@@ -323,6 +332,7 @@ def cmd_workload_gen(args) -> int:
             batch_size=args.update_batch,
             edge_bias=args.edge_bias,
             query_batch=args.batch,
+            update_locality=args.update_locality,
             graph=graph_spec,
         )
         wl = generate_workload(spec)
@@ -360,6 +370,7 @@ def cmd_workload_run(args) -> int:
             coalesce_ms=args.coalesce_ms,
             staleness_budget_ms=None if budget is not None and budget < 0 else budget,
             freshness=args.freshness,
+            maintenance=args.maintenance,
         )
     except (ValueError, IndexError) as exc:
         # IndexError: --graph override smaller than the workload's universe
@@ -389,6 +400,18 @@ def cmd_workload_run(args) -> int:
               f"incremental={rep.incremental_extensions}, no-ops={rep.noop_updates}")
         print(f"rebuild wall: {rep.rebuild_wall_s:.3f}s "
               f"(mode={rep.rebuild_mode})")
+        if rep.rebuilds_incremental or rep.rebuilds_full:
+            by_strategy = ", ".join(
+                f"{name}={sec * 1e3:.1f}ms"
+                for name, sec in sorted(rep.rebuild_wall_by_strategy.items())
+            )
+            print(f"maintenance={rep.maintenance}: "
+                  f"{rep.rebuilds_incremental} incremental / "
+                  f"{rep.rebuilds_full} full rebuilds; wall by strategy: "
+                  f"{by_strategy or 'n/a'}")
+        if rep.rebuild_errors:
+            print(f"rebuild errors: {rep.rebuild_errors} "
+                  f"(last: {rep.last_rebuild_error})")
         if rep.rebuild_mode == "async":
             print(f"freshness={rep.freshness}: {rep.stale_hits} stale hits, "
                   f"{rep.forced_syncs} forced syncs, "
@@ -438,6 +461,7 @@ def cmd_cluster_run(args) -> int:
             cache_size=args.cache_size,
             verify=args.verify,
             telemetry=telemetry,
+            maintenance=args.maintenance,
         )
     except ValueError as exc:
         raise SystemExit(f"cluster run: {exc}") from None
@@ -506,6 +530,7 @@ def cmd_cluster_serve(args) -> int:
             staleness_budget_ms=(
                 None if args.staleness_budget_ms < 0 else args.staleness_budget_ms
             ),
+            maintenance=args.maintenance,
         )
     finally:
         if args.input:
@@ -558,6 +583,9 @@ def main(argv=None) -> int:
     p.add_argument("--n", type=int, required=True)
     p.add_argument("--m", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--beta", type=float, default=0.1,
+                   help="watts-strogatz rewiring probability (0: pure ring "
+                        "lattice, one biconnected block)")
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("convert", help="convert between graph formats")
@@ -617,6 +645,11 @@ def main(argv=None) -> int:
                     help="max edges per update batch")
     pg.add_argument("--edge-bias", type=float, default=0.25,
                     help="probability edge-shaped ops sample a real edge")
+    pg.add_argument("--update-locality", type=float, default=0.0,
+                    help="probability an update targets incremental-friendly "
+                         "structure of the initial graph: adds stay inside "
+                         "one biconnected block, removes pop known bridges "
+                         "(default 0: historical uniform sampling)")
     pg.set_defaults(fn=cmd_workload_gen)
 
     pr = wsub.add_parser("run", help="execute a workload against the engine")
@@ -647,6 +680,11 @@ def main(argv=None) -> int:
     pr.add_argument("--freshness", choices=("any", "fresh"), default=None,
                     help="async query freshness (default: any; fresh blocks "
                          "for an exact index, bit-identical to sync)")
+    pr.add_argument("--maintenance", choices=("auto", "full"), default="auto",
+                    help="rebuild strategy when pending deltas qualify: pick "
+                         "the cheaper of incremental patch vs full rebuild "
+                         "per the cost model (auto, default) or always "
+                         "rebuild from scratch (full)")
     pr.add_argument("--json", action="store_true",
                     help="emit the full report as JSON")
     pr.set_defaults(fn=cmd_workload_run)
@@ -695,6 +733,10 @@ def main(argv=None) -> int:
     cr.add_argument("--trace", default=None, metavar="FILE",
                     help="write a chrome://tracing timeline (route/scatter/"
                          "gather spans plus per-shard tracks)")
+    cr.add_argument("--maintenance", choices=("auto", "full"), default="auto",
+                    help="per-shard rebuild strategy: cost-model choice of "
+                         "incremental patch vs full rebuild (auto, default) "
+                         "or always full")
     cr.add_argument("--json", action="store_true",
                     help="emit the full report as JSON")
     cr.set_defaults(fn=cmd_cluster_run)
@@ -717,6 +759,10 @@ def main(argv=None) -> int:
     cs.add_argument("--staleness-budget-ms", type=float, default=250.0,
                     help="async: force a synchronous rebuild once a served "
                          "snapshot is older than this (negative: unbounded)")
+    cs.add_argument("--maintenance", choices=("auto", "full"), default="auto",
+                    help="per-shard rebuild strategy: cost-model choice of "
+                         "incremental patch vs full rebuild (auto, default) "
+                         "or always full")
     cs.set_defaults(fn=cmd_cluster_serve)
 
     args = parser.parse_args(argv)

@@ -59,6 +59,10 @@ STAT_FIELDS = (
     "forced_syncs",
     "rebuild_swaps",
     "max_staleness_ms",
+    "rebuilds_incremental",
+    "rebuilds_full",
+    "delta_log_depth",
+    "rebuild_errors",
 )
 
 
@@ -106,6 +110,7 @@ class InProcessBackend(ShardBackend):
         rebuild_mode: str = "sync",
         coalesce_ms: float = 0.0,
         staleness_budget_ms: float | None = 250.0,
+        maintenance: str = "auto",
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -118,6 +123,7 @@ class InProcessBackend(ShardBackend):
                 rebuild_mode=rebuild_mode,
                 coalesce_ms=coalesce_ms,
                 staleness_budget_ms=staleness_budget_ms,
+                maintenance=maintenance,
             )
             for _ in range(num_shards)
         ]
@@ -150,6 +156,9 @@ class InProcessBackend(ShardBackend):
             stats = engine.stats.as_dict()
             row = {field: int(stats[field]) for field in STAT_FIELDS}
             row["cache_hit_rate"] = stats["cache_hit_rate"]
+            # string-valued, so (like cache_hit_rate) only the serial
+            # backend reports it — it can't ride the int64 stat buffer
+            row["last_rebuild_error"] = stats["last_rebuild_error"]
             rows.append(row)
         return rows
 
@@ -169,7 +178,7 @@ _W_ENGINES: dict[int, ServiceEngine] = {}
 
 
 def _w_configure(rank, lo, hi, algorithm, cache_size, rebuild_mode, coalesce_ms,
-                 staleness_budget_ms):
+                 staleness_budget_ms, maintenance):
     for shard in range(lo, hi):
         _W_ENGINES[shard] = ServiceEngine(
             algorithm=algorithm,
@@ -177,6 +186,7 @@ def _w_configure(rank, lo, hi, algorithm, cache_size, rebuild_mode, coalesce_ms,
             rebuild_mode=rebuild_mode,
             coalesce_ms=coalesce_ms,
             staleness_budget_ms=staleness_budget_ms,
+            maintenance=maintenance,
         )
 
 
@@ -239,6 +249,7 @@ class ProcessBackend(ShardBackend):
         rebuild_mode: str = "sync",
         coalesce_ms: float = 0.0,
         staleness_budget_ms: float | None = 250.0,
+        maintenance: str = "auto",
     ):
         from ..runtime.process import ProcessTeam
 
@@ -252,7 +263,7 @@ class ProcessBackend(ShardBackend):
         self._graph_arrays: list = []  # keep shm-backed graph arrays alive
         self.team.parallel_for(
             num_shards, _w_configure, algorithm, cache_size, rebuild_mode,
-            coalesce_ms, staleness_budget_ms,
+            coalesce_ms, staleness_budget_ms, maintenance,
         )
 
     def put_graph(self, shard: int, name: str, graph: Graph) -> None:

@@ -116,6 +116,8 @@ class ClusterReport:
     per_shard: list = field(default_factory=list)
     tenants: dict = field(default_factory=dict)
     rejected: int = 0
+    maintenance: str = "auto"
+    rebuild_errors: int = 0
     verified: bool | None = None
     mismatches: int = 0
     clean_shutdown: bool | None = None
@@ -183,6 +185,7 @@ def run_cluster_workload(
     verify: bool = False,
     router: ShardRouter | None = None,
     telemetry=None,
+    maintenance: str = "auto",
 ) -> ClusterReport:
     """Run ``num_clients`` concurrent replays of ``spec`` on a cluster.
 
@@ -207,6 +210,7 @@ def run_cluster_workload(
             algorithm=algorithm,
             cache_size=cache_size,
             telemetry=telemetry,
+            maintenance=maintenance,
         )
     try:
         workloads = [client_workload(spec, i) for i in range(num_clients)]
@@ -301,6 +305,8 @@ def run_cluster_workload(
         per_shard=stats.per_shard,
         tenants=stats.tenants,
         rejected=rejected,
+        maintenance=stats.maintenance,
+        rebuild_errors=stats.rebuild_errors,
         verified=(mismatches == 0) if verify else None,
         mismatches=mismatches,
         clean_shutdown=clean,

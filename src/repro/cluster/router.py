@@ -87,6 +87,8 @@ class ClusterStats:
     tenants: dict  # tenant -> {"admitted", "rejected", "items", "graphs", "evictions"}
     rebuild_mode: str = "sync"
     max_staleness_ms: float = 0.0
+    maintenance: str = "auto"
+    rebuild_errors: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -97,6 +99,8 @@ class ClusterStats:
             "tenants": {k: dict(v) for k, v in self.tenants.items()},
             "rebuild_mode": self.rebuild_mode,
             "max_staleness_ms": self.max_staleness_ms,
+            "maintenance": self.maintenance,
+            "rebuild_errors": self.rebuild_errors,
         }
 
 
@@ -116,6 +120,7 @@ class ShardRouter:
         rebuild_mode: str = "sync",
         coalesce_ms: float = 0.0,
         staleness_budget_ms: float | None = 250.0,
+        maintenance: str = "auto",
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -129,6 +134,7 @@ class ShardRouter:
         self.tenant_graph_budget = tenant_graph_budget
         self.tenant_batch_quota = tenant_batch_quota
         self.rebuild_mode = rebuild_mode
+        self.maintenance = maintenance
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._counters = self.telemetry.add_sink(CounterSink())
         self.backend = make_backend(
@@ -140,6 +146,7 @@ class ShardRouter:
             rebuild_mode=rebuild_mode,
             coalesce_ms=coalesce_ms,
             staleness_budget_ms=staleness_budget_ms,
+            maintenance=maintenance,
         )
         self._lock = threading.Lock()
         self._shard_of_graph: dict[str, int] = {}
@@ -309,6 +316,10 @@ class ShardRouter:
                     (row.get("max_staleness_ms", 0) for row in per_shard),
                     default=0,
                 )),
+                maintenance=self.maintenance,
+                rebuild_errors=sum(
+                    row.get("rebuild_errors", 0) for row in per_shard
+                ),
             )
 
     def _ensure_open(self) -> None:

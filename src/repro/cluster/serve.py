@@ -102,6 +102,7 @@ def serve(
     rebuild_mode: str = "sync",
     coalesce_ms: float = 0.0,
     staleness_budget_ms: float | None = 250.0,
+    maintenance: str = "auto",
     router: ShardRouter | None = None,
 ) -> int:
     """Run the serve loop over ``lines``, writing answers to ``out``.
@@ -129,6 +130,7 @@ def serve(
             rebuild_mode=rebuild_mode,
             coalesce_ms=coalesce_ms,
             staleness_budget_ms=staleness_budget_ms,
+            maintenance=maintenance,
         )
     with router:
         lines = iter(lines)

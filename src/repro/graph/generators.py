@@ -43,6 +43,7 @@ __all__ = [
     "paper_instance",
     "rmat_graph",
     "barabasi_albert",
+    "watts_strogatz",
     "geometric_graph",
 ]
 
@@ -393,6 +394,45 @@ def barabasi_albert(n: int, k: int = 2, seed=0) -> Graph:
             vs.append(w)
             pool.append(t)
             pool.append(w)
+    return Graph(n, us, vs, normalize=True)
+
+
+def watts_strogatz(n: int, k: int = 4, beta: float = 0.1, seed=0) -> Graph:
+    """Watts–Strogatz small-world graph (APGL's generator catalog).
+
+    Start from a ring lattice where every vertex connects to its ``k/2``
+    nearest neighbours on each side (``k`` must be even), then rewire the
+    far endpoint of each lattice edge with probability ``beta`` to a
+    uniformly random vertex.  ``beta=0`` is the pure lattice — one big
+    biconnected component whose every edge sits on short cycles, the
+    intra-block-churn regime the incremental maintenance bench targets;
+    small ``beta`` adds the long-range shortcuts that give the
+    small-world diameter while keeping high clustering.
+
+    Rewired edges that collide (self-loop or duplicate) are dropped by
+    edge normalization, so the realized edge count is slightly below
+    ``n * k / 2`` for ``beta > 0`` (the same convention as
+    :func:`rmat_graph`).
+    """
+    if n < 3:
+        raise ValueError("n must be >= 3")
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"k must be a positive even integer, got {k}")
+    if k >= n:
+        raise ValueError(f"k must be < n, got k={k}, n={n}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    rng = _rng(seed)
+    base = np.arange(n, dtype=np.int64)
+    us = np.concatenate([base for _ in range(k // 2)])
+    vs = np.concatenate([(base + j) % n for j in range(1, k // 2 + 1)])
+    if beta > 0.0:
+        rewire = rng.random(us.size) < beta
+        targets = rng.integers(0, n, size=int(rewire.sum()), dtype=np.int64)
+        new_vs = vs.copy()
+        new_vs[rewire] = targets
+        keep = new_vs != us  # drop would-be self-loops, keep the rest
+        us, vs = us[keep], new_vs[keep]
     return Graph(n, us, vs, normalize=True)
 
 

@@ -244,6 +244,10 @@ def named_corpus() -> list[tuple[str, Graph]]:
         ("rmat-small", gen.rmat_graph(5, edge_factor=4.0, seed=9)),
         ("ba-hubs", gen.barabasi_albert(48, k=2, seed=12)),
         ("ba-tree", gen.barabasi_albert(32, k=1, seed=13)),
+        # small-world: beta=0 is one biconnected ring block, rewiring
+        # fragments it into bridges + smaller blocks
+        ("ws-ring", gen.watts_strogatz(24, k=4, beta=0.0, seed=15)),
+        ("ws-rewired", gen.watts_strogatz(40, k=2, beta=0.3, seed=16)),
         # hand-built multi-block shapes
         ("theta", Graph(6, [0, 1, 2, 0, 4, 5, 0], [1, 2, 3, 4, 5, 3, 3])),
         ("two-triangles-bridge",
@@ -279,6 +283,7 @@ _FAMILIES = (
     ("path", 0.05),
     ("dense", 0.06),
     ("barabasi-albert", 0.05),
+    ("watts-strogatz", 0.05),
     ("union", 0.06),
 )
 
@@ -331,6 +336,12 @@ def random_graph(rng: np.random.Generator, max_n: int = 64) -> tuple[str, Graph]
     if family == "barabasi-albert":
         k = int(rng.integers(1, min(4, n)))
         return family, gen.barabasi_albert(n, k=k, seed=seed)
+    if family == "watts-strogatz":
+        nn = max(4, n)
+        k_max = max(1, (nn - 1) // 2)  # k must stay < n after doubling
+        k = 2 * int(rng.integers(1, min(4, k_max + 1)))
+        return family, gen.watts_strogatz(
+            nn, k=k, beta=float(rng.uniform(0.0, 0.5)), seed=seed)
     # union of two smaller random pieces
     _, a = random_graph(rng, max_n=max(3, max_n // 2))
     _, b = random_graph(rng, max_n=max(3, max_n // 2))

@@ -4,8 +4,11 @@ The one-shot pipelines of :mod:`repro.api` compute a full BCC labelling
 per call; this subsystem turns that into a long-lived query engine —
 named graphs with content fingerprints (:mod:`~repro.service.store`), a
 per-graph point-query index built once by any registered algorithm
-(:mod:`~repro.service.index`), lazy batch updates with incremental index
-maintenance (:mod:`~repro.service.updates`), an LRU-cached engine facade
+(:mod:`~repro.service.index`), lazy batch updates logged to a versioned
+write-ahead delta log (:mod:`~repro.service.deltalog`) and applied by a
+maintenance-strategy registry that prices incremental patching
+(:mod:`~repro.service.updates`) against a full rebuild
+(:mod:`~repro.service.maintenance`), an LRU-cached engine facade
 (:mod:`~repro.service.engine`), and a seeded workload generator + driver
 (:mod:`~repro.service.workload`, :mod:`~repro.service.driver`) measuring
 throughput, latency percentiles and cache behaviour in wall-clock and
@@ -25,6 +28,14 @@ Quick start::
 CLI: ``python -m repro workload gen|run`` (see docs/service.md).
 """
 
+from .deltalog import (
+    CLASSIFICATIONS,
+    MAX_PENDING_DELTAS,
+    DeltaEntry,
+    DeltaLog,
+    classify_add,
+    classify_remove,
+)
 from .driver import WorkloadReport, oracle_answer, run_workload
 from .engine import (
     BATCH_OPS,
@@ -36,6 +47,14 @@ from .engine import (
     ServiceEngine,
 )
 from .index import BCCIndex
+from .maintenance import (
+    MAINTENANCE_MODES,
+    STRATEGIES,
+    MaintenancePlan,
+    MaintenanceStrategy,
+    apply_plan,
+    plan_maintenance,
+)
 from .scheduler import RebuildScheduler
 from .snapshot import IndexSnapshot
 from .store import GraphStore, StoredGraph, graph_fingerprint, make_graph
@@ -58,6 +77,18 @@ __all__ = [
     "EngineStats",
     "IndexSnapshot",
     "RebuildScheduler",
+    "DeltaLog",
+    "DeltaEntry",
+    "CLASSIFICATIONS",
+    "MAX_PENDING_DELTAS",
+    "classify_add",
+    "classify_remove",
+    "MAINTENANCE_MODES",
+    "STRATEGIES",
+    "MaintenanceStrategy",
+    "MaintenancePlan",
+    "plan_maintenance",
+    "apply_plan",
     "REBUILD_MODES",
     "FRESHNESS_LEVELS",
     "QUERY_OPS",

@@ -174,6 +174,17 @@ class WorkloadReport:
     #: index maintenance mode the run used, and the freshness queries asked
     rebuild_mode: str = "sync"
     freshness: str = "any"
+    #: maintenance-strategy knob and its per-strategy accounting: how
+    #: many catch-ups patched incrementally vs rebuilt, their measured
+    #: wall split, pending delta-log depth at run end, and contained
+    #: background-build failures
+    maintenance: str = "auto"
+    rebuilds_incremental: int = 0
+    rebuilds_full: int = 0
+    rebuild_wall_by_strategy: dict = field(default_factory=dict)
+    delta_log_depth: int = 0
+    rebuild_errors: int = 0
+    last_rebuild_error: str = ""
     #: measured wall seconds spent in full rebuilds (sync + background)
     rebuild_wall_s: float = 0.0
     #: async maintenance: stale serves, budget-blown inline rebuilds,
@@ -239,6 +250,7 @@ def run_workload(
     staleness_budget_ms: float | None = 250.0,
     max_pending_rebuilds: int | None = 8,
     freshness: str | None = None,
+    maintenance: str = "auto",
 ) -> WorkloadReport:
     """Execute every op of ``workload`` against an engine and measure.
 
@@ -262,7 +274,8 @@ def run_workload(
                                machine=machine, rebuild_mode=rebuild_mode,
                                coalesce_ms=coalesce_ms,
                                staleness_budget_ms=staleness_budget_ms,
-                               max_pending_rebuilds=max_pending_rebuilds)
+                               max_pending_rebuilds=max_pending_rebuilds,
+                               maintenance=maintenance)
     if freshness is None:
         freshness = "fresh" if (verify and engine.rebuild_mode == "async") else "any"
     if graph is None:
@@ -362,6 +375,13 @@ def run_workload(
         noop_updates=st.noop_updates,
         rebuild_mode=engine.rebuild_mode,
         freshness=freshness,
+        maintenance=engine.maintenance,
+        rebuilds_incremental=st.rebuilds_incremental,
+        rebuilds_full=st.rebuilds_full,
+        rebuild_wall_by_strategy=dict(st.rebuild_wall_by_strategy),
+        delta_log_depth=st.delta_log_depth,
+        rebuild_errors=st.rebuild_errors,
+        last_rebuild_error=st.last_rebuild_error,
         rebuild_wall_s=st.rebuild_wall_s,
         stale_hits=st.stale_hits,
         forced_syncs=st.forced_syncs,

@@ -8,13 +8,17 @@ LRU keyed by graph *fingerprint*: replacing a graph with a previously seen
 edge set (an update that reverts, or a no-op batch) re-hits the cache
 without recomputation.
 
-Updates are lazy.  ``add_edges``/``remove_edges`` replace the stored graph
-and append the effective delta to a per-graph pending list; the next query
-resolves it — via the O(m) incremental paths of
-:mod:`repro.service.updates` when the deltas allow, otherwise via one full
-rebuild with the configured algorithm (any name from
-``repro.api.ALGORITHMS``; default ``tv-filter``).  Consecutive updates
-between queries therefore coalesce into at most one rebuild.
+Updates are lazy.  ``add_edges``/``remove_edges`` replace the stored
+graph and append the effective delta — classified at write time — to a
+per-graph :class:`~repro.service.deltalog.DeltaLog`; the next resolution
+(inline or background) asks the maintenance-strategy registry of
+:mod:`repro.service.maintenance` how to catch up.  Under the default
+``maintenance="auto"`` a qualifying chain is patched incrementally via
+the O(m) paths of :mod:`repro.service.updates` whenever that is priced
+cheaper than one full rebuild with the configured algorithm (any name
+from ``repro.api.ALGORITHMS``; default ``tv-filter``);
+``maintenance="full"`` always rebuilds.  Consecutive updates between
+queries coalesce into at most one resolution either way.
 
 Index maintenance runs in one of two modes:
 
@@ -66,7 +70,9 @@ from ..graph import Graph
 from ..obs import CounterSink, Telemetry, WallClockSink
 from ..smp import Machine, NullMachine, Ops
 from . import updates as upd
+from .deltalog import MAX_PENDING_DELTAS, DeltaEntry, DeltaLog, classify_add, classify_remove
 from .index import BCCIndex
+from .maintenance import MAINTENANCE_MODES, apply_plan, plan_maintenance
 from .scheduler import RebuildScheduler
 from .snapshot import IndexSnapshot
 from .store import GraphStore
@@ -77,6 +83,8 @@ __all__ = [
     "UPDATE_OPS",
     "REBUILD_MODES",
     "FRESHNESS_LEVELS",
+    "MAINTENANCE_MODES",
+    "MAX_PENDING_DELTAS",
     "EngineStats",
     "ServiceEngine",
 ]
@@ -113,10 +121,6 @@ REBUILD_MODES = ("sync", "async")
 #: Query freshness levels under async maintenance.
 FRESHNESS_LEVELS = ("any", "fresh")
 
-#: Pending deltas per graph are capped; longer runs of unqueried updates
-#: drop the chain and force one rebuild (bounding replay memory).
-MAX_PENDING_DELTAS = 64
-
 
 @dataclass
 class EngineStats:
@@ -138,8 +142,21 @@ class EngineStats:
     rebuilds_queued: int = 0
     rebuild_swaps: int = 0
     rebuilds_rejected: int = 0
+    #: maintenance decisions over a pending delta chain: refreshed by
+    #: incremental patching vs by a full rebuild (plain first builds with
+    #: no chain on file count in neither)
+    rebuilds_incremental: int = 0
+    rebuilds_full: int = 0
+    #: pending (undrained) delta-log entries across all graphs, right now
+    delta_log_depth: int = 0
+    #: background rebuilds that raised; the previous snapshot kept serving
+    rebuild_errors: int = 0
+    last_rebuild_error: str = ""
     #: measured wall seconds spent in full index rebuilds (sync + async)
     rebuild_wall_s: float = 0.0
+    #: measured wall seconds per maintenance strategy (only decisions
+    #: taken over a pending delta chain; keys are strategy names)
+    rebuild_wall_by_strategy: dict = field(default_factory=dict)
     #: worst staleness age observed at a stale hit or swap, in ms
     max_staleness_ms: float = 0.0
     per_op: dict = field(default_factory=dict)
@@ -165,21 +182,16 @@ class EngineStats:
             "rebuilds_queued": self.rebuilds_queued,
             "rebuild_swaps": self.rebuild_swaps,
             "rebuilds_rejected": self.rebuilds_rejected,
+            "rebuilds_incremental": self.rebuilds_incremental,
+            "rebuilds_full": self.rebuilds_full,
+            "delta_log_depth": self.delta_log_depth,
+            "rebuild_errors": self.rebuild_errors,
+            "last_rebuild_error": self.last_rebuild_error,
             "rebuild_wall_s": self.rebuild_wall_s,
+            "rebuild_wall_by_strategy": dict(self.rebuild_wall_by_strategy),
             "max_staleness_ms": self.max_staleness_ms,
             "per_op": dict(self.per_op),
         }
-
-
-@dataclass(frozen=True)
-class _Delta:
-    """One effective update: the graph/fingerprint after it, plus payload."""
-
-    kind: str  # "add" | "remove"
-    graph_after: Graph
-    fingerprint_after: str
-    a: object  # add: added_u; remove: removed edge ids (in the prior graph)
-    b: object  # add: added_v; remove: unused
 
 
 class ServiceEngine:
@@ -198,6 +210,7 @@ class ServiceEngine:
         max_pending_rebuilds: int | None = 8,
         rebuild_backend: str | None = None,
         rebuild_p: int | None = None,
+        maintenance: str = "auto",
         clock=None,
     ):
         if cache_size < 1:
@@ -205,6 +218,10 @@ class ServiceEngine:
         if rebuild_mode not in REBUILD_MODES:
             raise ValueError(
                 f"unknown rebuild_mode {rebuild_mode!r}; choose from {REBUILD_MODES}"
+            )
+        if maintenance not in MAINTENANCE_MODES:
+            raise ValueError(
+                f"unknown maintenance {maintenance!r}; choose from {MAINTENANCE_MODES}"
             )
         if coalesce_ms < 0:
             raise ValueError(f"coalesce_ms must be >= 0, got {coalesce_ms}")
@@ -227,7 +244,9 @@ class ServiceEngine:
         self._counters = self.telemetry.add_sink(CounterSink())
         self._wall = self.telemetry.add_sink(WallClockSink())
         self._cache: OrderedDict[str, BCCIndex] = OrderedDict()
-        self._pending: dict[str, tuple[str, list[_Delta]]] = {}
+        self._logs: dict[str, DeltaLog] = {}
+        self._strategy_wall: dict[str, float] = {}
+        self.maintenance = maintenance
         self.rebuild_mode = rebuild_mode
         self.coalesce_ms = float(coalesce_ms)
         self.staleness_budget_ms = staleness_budget_ms
@@ -263,7 +282,8 @@ class ServiceEngine:
     def put_graph(self, name: str, graph: Graph):
         """Store (or replace) a graph under ``name``."""
         if name in self.store:
-            self._pending.pop(name, None)
+            # wholesale replacement has no edge delta: the chain restarts
+            self._logs.pop(name, None)
             entry = self.store.replace(name, graph)
             if self._scheduler is not None:
                 self._mark_stale(name)
@@ -305,7 +325,6 @@ class ServiceEngine:
         if idx is not None:
             with self._swap_lock:
                 self._cache.move_to_end(entry.fingerprint)
-            self._pending.pop(name, None)
             self.telemetry.event("cache.hit")
             self._install(name, idx, entry)
             return idx
@@ -324,7 +343,6 @@ class ServiceEngine:
         cached = self._cache.get(entry.fingerprint)
         if cached is not None:
             # content seen before (revert / no-op churn): instant swap
-            self._pending.pop(name, None)
             self.telemetry.event("cache.hit")
             self._install(name, cached, entry)
             return cached
@@ -360,15 +378,18 @@ class ServiceEngine:
 
     def _install(self, name: str, idx: BCCIndex, entry) -> None:
         """Atomically publish ``idx`` as ``name``'s current snapshot."""
-        snap = IndexSnapshot(
-            index=idx,
-            fingerprint=entry.fingerprint,
-            version=entry.version,
-            built_at=self._clock(),
-            source=idx.source,
-        )
+        log = self._logs.get(name)
         with self._swap_lock:
-            self._snapshots[name] = snap
+            if log is not None:
+                log.catch_up(entry.fingerprint, entry.version)
+            self._snapshots[name] = IndexSnapshot(
+                index=idx,
+                fingerprint=entry.fingerprint,
+                version=entry.version,
+                built_at=self._clock(),
+                source=idx.source,
+                log_version=log.version if log is not None else 0,
+            )
             self._dirty_since.pop(name, None)
         if self._scheduler is not None:
             # an inline resolve supersedes any queued background job
@@ -380,7 +401,10 @@ class ServiceEngine:
         snap = self._snapshots.get(name)
         if snap is not None and snap.fingerprint == entry.fingerprint:
             # the update reverted to the snapshot's content: fresh again
+            log = self._logs.get(name)
             with self._swap_lock:
+                if log is not None:
+                    log.catch_up(entry.fingerprint, entry.version)
                 self._dirty_since.pop(name, None)
             self._scheduler.cancel(name)
             return
@@ -392,9 +416,13 @@ class ServiceEngine:
             self._scheduler.schedule(name)
 
     def _background_rebuild(self, name: str, job) -> None:
-        """Scheduler runner: build from the latest content, swap atomically.
+        """Scheduler runner: catch the index up to the latest content and
+        swap atomically.
 
-        Runs on the scheduler's worker thread.  Uses only thread-safe
+        Runs on the scheduler's worker thread.  Asks the maintenance
+        registry how to catch up: a qualifying delta chain is patched
+        incrementally against a copy of the last-good snapshot's index,
+        anything else takes one full rebuild.  Uses only thread-safe
         telemetry (instant events + a private wall sink); never touches
         the machine/span stack.
         """
@@ -407,18 +435,43 @@ class ServiceEngine:
             return  # revalidated meanwhile (revert or inline resolve)
         idx = self._cache.get(entry.fingerprint)
         if idx is None:
-            team = self._scheduler.team
+            log = self._logs.get(name)
+            maintained = log is not None and len(log) > 0
+            plan = plan_maintenance(
+                self.maintenance,
+                log,
+                entry,
+                self._base_index,
+                algorithm=self.algorithm,
+                p=self._scheduler_p(),
+            )
             tel = Telemetry()
             wall = tel.add_sink(WallClockSink())
-            with tel.span("Service-build"):
-                idx = BCCIndex.build(
-                    entry.graph,
-                    algorithm=self.algorithm,
-                    fingerprint=entry.fingerprint,
-                    team=team,
-                )
-            self._scheduler.add_wall(wall.seconds.get("Service-build", 0.0))
-            self.telemetry.event("index.rebuild")
+            if plan.incremental:
+                with tel.span("Service-extend"):
+                    idx = apply_plan(plan)
+                if idx is not None:
+                    self._note_strategy(
+                        plan, plan.strategy,
+                        wall.seconds.get("Service-extend", 0.0),
+                    )
+                    self.telemetry.event(
+                        "index.incremental", count=len(plan.entries)
+                    )
+            if idx is None:
+                with tel.span("Service-build"):
+                    idx = BCCIndex.build(
+                        entry.graph,
+                        algorithm=self.algorithm,
+                        fingerprint=entry.fingerprint,
+                        team=self._scheduler.team,
+                    )
+                self._scheduler.add_wall(wall.seconds.get("Service-build", 0.0))
+                self.telemetry.event("index.rebuild")
+                if maintained:
+                    self._note_strategy(
+                        plan, "full", wall.seconds.get("Service-build", 0.0)
+                    )
         if job.cancelled:
             return
         now = self._clock()
@@ -432,20 +485,24 @@ class ServiceEngine:
                 self._cache.popitem(last=False)
                 self.telemetry.event("cache.evict")
             stale_s = now - self._dirty_since.get(name, now)
+            log = self._logs.get(name)
+            if log is not None:
+                log.catch_up(entry.fingerprint, entry.version)
             self._snapshots[name] = IndexSnapshot(
                 index=idx,
                 fingerprint=entry.fingerprint,
                 version=entry.version,
                 built_at=now,
                 source=idx.source,
+                log_version=log.version if log is not None else 0,
             )
             current = self.store.entry(name)
             if current.fingerprint == entry.fingerprint:
                 # swap reached the newest content: clean slate
                 self._dirty_since.pop(name, None)
-                self._pending.pop(name, None)
-            # else: mid-build churn — dirty_since stays; the scheduler's
-            # re-run mark converges on the newest content
+            # else: mid-build churn — dirty_since stays (and the log keeps
+            # the undrained suffix); the scheduler's re-run mark converges
+            # on the newest content
         swap_ms = max(now - job.queued_at, 0.0) * 1000.0
         stale_ms = max(stale_s, 0.0) * 1000.0
         self._max_staleness_ms = max(self._max_staleness_ms, stale_ms)
@@ -455,52 +512,104 @@ class ServiceEngine:
             staleness_ms=round(stale_ms, 3),
         )
 
+    def _base_index(self, fingerprint: str) -> BCCIndex | None:
+        """A materialized index for ``fingerprint``, if any is on hand."""
+        idx = self._cache.get(fingerprint)
+        if idx is not None:
+            return idx
+        for snap in list(self._snapshots.values()):
+            if snap.fingerprint == fingerprint:
+                return snap.index
+        return None
+
+    def _scheduler_p(self) -> int:
+        if self._scheduler is not None and self._scheduler.team is not None:
+            return self._scheduler.team.p
+        return 1
+
+    def _note_strategy(self, plan, strategy: str, seconds: float) -> None:
+        """Account one maintenance decision: strategy event + wall bucket."""
+        with self._swap_lock:
+            self._strategy_wall[strategy] = (
+                self._strategy_wall.get(strategy, 0.0) + seconds
+            )
+        self.telemetry.event(
+            "rebuild.strategy",
+            op=strategy,
+            patch_edges=plan.patch_edges,
+            deltas=len(plan.entries),
+        )
+
     def _resolve(self, name: str, entry) -> BCCIndex:
-        pending = self._pending.pop(name, None)
-        if pending is not None:
-            base_fp, deltas = pending
-            base = self._cache.get(base_fp)
-            if base is not None:
-                replayed = self._replay(base, deltas)
-                if replayed is not None:
-                    self.telemetry.event("index.incremental", count=len(deltas))
-                    return replayed
+        """Inline catch-up: plan against the delta log, patch or rebuild."""
+        log = self._logs.get(name)
+        maintained = log is not None and len(log) > 0
+        plan = plan_maintenance(
+            self.maintenance,
+            log,
+            entry,
+            self._base_index,
+            algorithm=self.algorithm,
+        )
+        if plan.incremental:
+            t0 = time.perf_counter()
+            with self._region("Service-extend"):
+                idx = apply_plan(plan, machine=self.machine)
+            if idx is not None:
+                self._note_strategy(plan, plan.strategy, time.perf_counter() - t0)
+                self.telemetry.event("index.incremental", count=len(plan.entries))
+                return idx
+            # a patch path's consistency guard bailed: one full rebuild
         self.telemetry.event("index.rebuild")
+        t0 = time.perf_counter()
         with self._region("Service-build"):
-            return BCCIndex.build(
+            idx = BCCIndex.build(
                 entry.graph,
                 algorithm=self.algorithm,
                 machine=self.machine,
                 fingerprint=entry.fingerprint,
             )
-
-    def _replay(self, idx: BCCIndex, deltas: list[_Delta]) -> BCCIndex | None:
-        with self._region("Service-extend"):
-            for d in deltas:
-                if d.kind == "add":
-                    idx = upd.extend_index(idx, d.graph_after, d.a, d.b,
-                                           fingerprint=d.fingerprint_after)
-                else:
-                    idx = upd.shrink_index(idx, d.graph_after, d.a,
-                                           fingerprint=d.fingerprint_after)
-                if idx is None:
-                    return None
-                if self.machine is not None:
-                    # one relabelling sweep over the new edge list
-                    self.machine.parallel(d.graph_after.m, Ops(contig=2, alu=1))
+        if maintained:
+            self._note_strategy(plan, "full", time.perf_counter() - t0)
         return idx
 
     # ------------------------------------------------------------------ #
-    # updates (lazy: mark dirty, recompute on next query)
+    # updates (lazy: log the delta, catch up on next resolution)
     # ------------------------------------------------------------------ #
 
-    def _record(self, name: str, base_fp: str, delta: _Delta) -> None:
-        if name in self._pending:
-            self._pending[name][1].append(delta)
-            if len(self._pending[name][1]) > MAX_PENDING_DELTAS:
-                self._pending.pop(name)  # too long to replay; force a rebuild
+    def _log_delta(
+        self, name: str, pre_entry, kind: str, graph_after, new_entry, a, b
+    ) -> None:
+        """Append one effective update to ``name``'s delta log, classified
+        against the pre-update index when one is materialized."""
+        log = self._logs.get(name)
+        if log is None:
+            log = DeltaLog(
+                name,
+                base_fingerprint=pre_entry.fingerprint,
+                base_version=pre_entry.version,
+            )
+            self._logs[name] = log
+        base = self._base_index(pre_entry.fingerprint)
+        if base is None:
+            classification = "unknown"
+        elif kind == "add":
+            classification = classify_add(base, a, b)
         else:
-            self._pending[name] = (base_fp, [delta])
+            classification = classify_remove(base, a)
+        log.append(
+            DeltaEntry(
+                kind=kind,
+                graph_after=graph_after,
+                fingerprint_after=new_entry.fingerprint,
+                version=new_entry.version,
+                applies_to=pre_entry.version,
+                a=a,
+                b=b,
+                classification=classification,
+            )
+        )
+        self.telemetry.event("delta.append", op=classification)
 
     def add_edges(self, name: str, pairs) -> int:
         """Add a batch of edges to ``name``; returns the effective count."""
@@ -511,8 +620,7 @@ class ServiceEngine:
             self.telemetry.event("update.noop")
             return 0
         new_entry = self.store.replace(name, ng)
-        self._record(name, entry.fingerprint,
-                     _Delta("add", ng, new_entry.fingerprint, au, av))
+        self._log_delta(name, entry, "add", ng, new_entry, au, av)
         if self._scheduler is not None:
             self._mark_stale(name)
         return int(au.size)
@@ -526,8 +634,7 @@ class ServiceEngine:
             self.telemetry.event("update.noop")
             return 0
         new_entry = self.store.replace(name, ng)
-        self._record(name, entry.fingerprint,
-                     _Delta("remove", ng, new_entry.fingerprint, removed, None))
+        self._log_delta(name, entry, "remove", ng, new_entry, removed, None)
         if self._scheduler is not None:
             self._mark_stale(name)
         return int(removed.size)
@@ -611,6 +718,10 @@ class ServiceEngine:
         """The installed snapshot for ``name`` (None before first query)."""
         return self._snapshots.get(name)
 
+    def delta_log_for(self, name: str) -> DeltaLog | None:
+        """``name``'s delta log (None before its first effective update)."""
+        return self._logs.get(name)
+
     def staleness_ms(self, name: str) -> float:
         """Wall-clock ms the snapshot has lagged the stored content (0 = fresh)."""
         return self._staleness_ms(name)
@@ -644,7 +755,19 @@ class ServiceEngine:
             rebuilds_queued=c["rebuild.queued"],
             rebuild_swaps=c["rebuild.swap"],
             rebuilds_rejected=c["rebuild.reject"],
+            rebuilds_incremental=(
+                c["rebuild.strategy.incremental-extend"]
+                + c["rebuild.strategy.incremental-shrink"]
+                + c["rebuild.strategy.incremental-mixed"]
+            ),
+            rebuilds_full=c["rebuild.strategy.full"],
+            delta_log_depth=sum(len(log) for log in self._logs.values()),
+            rebuild_errors=c["rebuild.error"],
+            last_rebuild_error=(
+                self._scheduler.last_error if self._scheduler is not None else ""
+            ),
             rebuild_wall_s=self.rebuild_wall_s,
+            rebuild_wall_by_strategy=dict(self._strategy_wall),
             max_staleness_ms=self._max_staleness_ms,
             per_op=c.prefixed("query"),
         )
@@ -653,6 +776,8 @@ class ServiceEngine:
         self._counters.reset()
         self._wall.reset()
         self._max_staleness_ms = 0.0
+        with self._swap_lock:
+            self._strategy_wall = {}
         if self._scheduler is not None:
             self._scheduler.reset_stats()
 
@@ -676,5 +801,6 @@ class ServiceEngine:
     def __repr__(self) -> str:
         return (
             f"ServiceEngine(graphs={len(self.store)}, algorithm={self.algorithm!r}, "
-            f"cached={len(self._cache)}/{self.cache_size}, mode={self.rebuild_mode!r})"
+            f"cached={len(self._cache)}/{self.cache_size}, mode={self.rebuild_mode!r}, "
+            f"maintenance={self.maintenance!r})"
         )

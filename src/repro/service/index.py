@@ -64,7 +64,9 @@ class BCCIndex:
     )
 
     def __init__(self, result: BCCResult, fingerprint: str | None = None,
-                 source: str = "build"):
+                 source: str = "build", *,
+                 art_mask: np.ndarray | None = None,
+                 bridge_mask: np.ndarray | None = None):
         g = result.graph
         self.graph = g
         self.result = result
@@ -76,10 +78,21 @@ class BCCIndex:
         self.source = source
         self._bct = None
 
-        self._is_art = np.zeros(g.n, dtype=bool)
-        self._is_art[result.articulation_points()] = True
-        self._is_bridge = np.zeros(g.m, dtype=bool)
-        self._is_bridge[result.bridges()] = True
+        # the incremental patch paths (repro.service.updates) pass both
+        # masks precomputed from the base index — an intra-block extend
+        # keeps every vertex's block membership, hence the articulation
+        # set, and maps bridge flags through the edge-id shift — so the
+        # patched index skips the two O(m) recomputes a build pays
+        if art_mask is not None:
+            self._is_art = art_mask
+        else:
+            self._is_art = np.zeros(g.n, dtype=bool)
+            self._is_art[result.articulation_points()] = True
+        if bridge_mask is not None:
+            self._is_bridge = bridge_mask
+        else:
+            self._is_bridge = np.zeros(g.m, dtype=bool)
+            self._is_bridge[result.bridges()] = True
         # canonical edges are sorted lexicographically, so u*n+v is ascending
         self._edge_keys = g.u * np.int64(max(g.n, 1)) + g.v
         # vertex -> sorted block ids, CSR over (vertex, block) incidences;

@@ -103,6 +103,9 @@ class RebuildScheduler:
         self._rerun: set[str] = set()
         self._closed = False
         self.rebuild_wall_s = 0.0
+        #: last background-build exception, as "ExcType: message" ("" = none);
+        #: a failed build is contained — the previous snapshot keeps serving
+        self.last_error = ""
         self._thread = threading.Thread(
             target=self._loop, daemon=True, name="repro-rebuild-scheduler"
         )
@@ -184,6 +187,7 @@ class RebuildScheduler:
     def reset_stats(self) -> None:
         with self._cond:
             self.rebuild_wall_s = 0.0
+            self.last_error = ""
 
     # ------------------------------------------------------------------ #
     # synchronization
@@ -269,15 +273,12 @@ class RebuildScheduler:
                 self._running = job
             try:
                 if not job.cancelled:
-                    t0 = time.perf_counter()
-                    try:
-                        self._runner(job.name, job)
-                    finally:
-                        with self._cond:
-                            self.rebuild_wall_s += time.perf_counter() - t0
-            except Exception:
+                    self._runner(job.name, job)
+            except Exception as exc:
                 # a failed build keeps the previous snapshot serving; the
                 # next schedule() retries
+                with self._cond:
+                    self.last_error = f"{type(exc).__name__}: {exc}"
                 self.telemetry.event("rebuild.error")
             finally:
                 with self._cond:

@@ -30,7 +30,11 @@ class IndexSnapshot:
     ``fingerprint``/``version`` identify the exact stored graph content
     the index answers for; ``built_at`` is the engine-clock time the
     snapshot was installed (swap time, not build start); ``source``
-    mirrors :attr:`BCCIndex.source` (``build``/``extend``/``shrink``).
+    mirrors :attr:`BCCIndex.source` (``build``/``extend``/``shrink``);
+    ``log_version`` is the :class:`~repro.service.deltalog.DeltaLog`
+    version this snapshot reflects — the log state right after the
+    install drained the entries the index covers (0 when the graph has
+    never logged a delta).
     """
 
     index: BCCIndex
@@ -38,6 +42,7 @@ class IndexSnapshot:
     version: int
     built_at: float
     source: str = "build"
+    log_version: int = 0
 
     @property
     def graph(self):

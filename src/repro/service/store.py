@@ -51,6 +51,12 @@ GRAPH_FAMILIES = {
     "barabasi-albert": lambda n, m, seed: gen.barabasi_albert(
         n, k=max(1, round(m / max(n, 1))), seed=seed
     ),
+    # m is a target edge count, mapped to the (even) ring degree k ~ 2m/n,
+    # clamped to the largest even value < n
+    "watts-strogatz": lambda n, m, seed: gen.watts_strogatz(
+        n, k=min(max(2, 2 * round(m / max(n, 1))), (n - 1) - (n - 1) % 2),
+        beta=0.1, seed=seed
+    ),
 }
 
 

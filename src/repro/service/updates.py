@@ -161,7 +161,16 @@ def extend_index(
         return None  # shouldn't happen; bail out to a rebuild rather than corrupt
     labels[~from_old] = added_labels[order]
     result = BCCResult(new_graph, labels, algorithm=index.result.algorithm)
-    return BCCIndex(result, fingerprint=fingerprint, source="extend")
+    # intra-block adds change no vertex's block membership, so the
+    # articulation set carries over; old edges keep their bridge flag
+    # through the id shift, and an added edge always lands in a block
+    # that already has edges (the only intra-block pair of a single-edge
+    # block is the bridge itself, which already exists), so it is never
+    # a bridge
+    bridge_mask = np.zeros(new_graph.m, dtype=bool)
+    bridge_mask[from_old] = index._is_bridge[pos[from_old]]
+    return BCCIndex(result, fingerprint=fingerprint, source="extend",
+                    art_mask=index._is_art, bridge_mask=bridge_mask)
 
 
 def shrink_index(
@@ -187,4 +196,8 @@ def shrink_index(
         return None
     labels = index.result.edge_labels[keep]
     result = BCCResult(new_graph, labels, algorithm=index.result.algorithm)
-    return BCCIndex(result, fingerprint=fingerprint, source="shrink")
+    # surviving edges keep their bridge flag (only whole single-edge
+    # blocks disappeared); the articulation set does change — a bridge
+    # endpoint can drop to one block — so it is recomputed
+    return BCCIndex(result, fingerprint=fingerprint, source="shrink",
+                    bridge_mask=index._is_bridge[keep])

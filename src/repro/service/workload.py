@@ -148,6 +148,16 @@ class WorkloadSpec:
     skew: float = 3.0
     batch_size: int = 4  # max edges per update batch
     edge_bias: float = 0.25
+    #: Churn-phase locality knob: the probability an update targets an
+    #: incrementally patchable delta of the *initial* graph — edge adds
+    #: sample both endpoints inside one biconnected component (an
+    #: intra-block add can never split blocks or bypass a bridge, so the
+    #: initial classification stays valid for the whole stream) and edge
+    #: removals target initial-graph bridges.  0.0 (default) keeps the
+    #: historical uniform sampling bit-for-bit; 1.0 makes every update
+    #: maintenance-friendly, which is what the incremental-vs-full bench
+    #: leg needs.
+    update_locality: float = 0.0
     #: Items per batched query record.  1 keeps every query a point op;
     #: > 1 emits batchable queries as their ``*_many`` form with this
     #: many sampled items each (``num_ops`` still counts records).
@@ -168,6 +178,10 @@ class WorkloadSpec:
             raise ValueError(f"vertex_dist must be uniform|skewed, got {self.vertex_dist!r}")
         if self.query_batch < 1:
             raise ValueError(f"query_batch must be >= 1, got {self.query_batch}")
+        if not 0.0 <= self.update_locality <= 1.0:
+            raise ValueError(
+                f"update_locality must be in [0, 1], got {self.update_locality}"
+            )
         unknown = (set(self.mix) - set(QUERY_OP_NAMES) - set(BATCH_OP_NAMES)
                    - set(UPDATE_OP_NAMES))
         if unknown:
@@ -259,6 +273,39 @@ def generate_workload(spec: WorkloadSpec, graph: Graph | None = None) -> Workloa
             return int(graph.u[i]), int(graph.v[i])
         return vertex(), vertex()
 
+    # Churn locality: classify the *initial* graph once.  Intra-block adds
+    # cannot split blocks or create alternate paths around bridges, and a
+    # bridge removal leaves every other edge's bridge status intact, so
+    # this classification stays valid across the whole generated stream.
+    blocks: list[np.ndarray] = []
+    bridge_pairs: list[list[int]] = []
+    if spec.update_locality > 0.0 and graph.m:
+        from ..core.tarjan import tarjan_bcc
+
+        res = tarjan_bcc(graph)
+        for eids in res.components():
+            vs = np.unique(np.concatenate([graph.u[eids], graph.v[eids]]))
+            if vs.size >= 3:
+                blocks.append(vs)
+        bridge_ids = res.bridges()
+        bridge_pairs = [
+            [int(graph.u[i]), int(graph.v[i])]
+            for i in rng.permutation(bridge_ids).tolist()
+        ]
+
+    def local_add_pair() -> tuple[int, int]:
+        if not blocks:
+            return pair(edge_shaped=False)
+        vs = blocks[int(rng.integers(0, len(blocks)))]
+        i, j = rng.choice(vs.size, size=2, replace=False)
+        return int(vs[i]), int(vs[j])
+
+    def local_remove_pair() -> tuple[int, int]:
+        if bridge_pairs:
+            u, v = bridge_pairs.pop()
+            return u, v
+        return pair(edge_shaped=True)
+
     def batched_op(kind: str) -> dict:
         k = spec.query_batch
         if kind == "is_articulation_many":
@@ -285,12 +332,16 @@ def generate_workload(spec: WorkloadSpec, graph: Graph | None = None) -> Workloa
             ops.append({"op": kind})
         elif kind == "add_edges":
             k = int(rng.integers(1, spec.batch_size + 1))
+            local = spec.update_locality > 0.0 and rng.random() < spec.update_locality
+            sample = local_add_pair if local else (lambda: pair(edge_shaped=False))
             ops.append({"op": kind,
-                        "edges": [list(pair(edge_shaped=False)) for _ in range(k)]})
+                        "edges": [list(sample()) for _ in range(k)]})
         elif kind == "remove_edges":
             k = int(rng.integers(1, spec.batch_size + 1))
+            local = spec.update_locality > 0.0 and rng.random() < spec.update_locality
+            sample = local_remove_pair if local else (lambda: pair(edge_shaped=True))
             ops.append({"op": kind,
-                        "edges": [list(pair(edge_shaped=True)) for _ in range(k)]})
+                        "edges": [list(sample()) for _ in range(k)]})
     if spec.tenant is not None:
         for op in ops:
             op["tenant"] = spec.tenant

@@ -158,3 +158,49 @@ class TestShrinkIndex:
         ng, removed = apply_remove_edges(g, [(0, 4), (0, 1)])
         assert removed.size == 2
         assert shrink_index(idx, ng, removed) is None
+
+
+class TestBailOutGuards:
+    """The last-line consistency guards must bail to None, never corrupt.
+
+    These exercise the "shouldn't happen" branches directly — a caller
+    (or a replayed delta log) handing the patch paths arguments that are
+    internally inconsistent with the new graph.
+    """
+
+    def test_extend_added_set_mismatch_bails(self):
+        # (1, 3) is intra-block (one cycle block) so classification passes,
+        # but the graph actually gained (0, 2): the added-key-set guard
+        # must catch the disagreement
+        g = gen.cycle_graph(5)
+        idx = BCCIndex.build(g)
+        ng, _, _ = apply_add_edges(g, [(0, 2)])
+        out = extend_index(idx, ng,
+                           np.array([1], np.int64), np.array([3], np.int64))
+        assert out is None
+
+    def test_extend_claimed_add_on_unchanged_graph_bails(self):
+        # new_graph == old graph but the delta claims one added edge
+        g = gen.cycle_graph(5)
+        idx = BCCIndex.build(g)
+        out = extend_index(idx, g,
+                           np.array([0], np.int64), np.array([2], np.int64))
+        assert out is None
+
+    def test_shrink_empty_removed_bails(self):
+        g = gen.path_graph(4)
+        idx = BCCIndex.build(g)
+        assert shrink_index(idx, g, np.zeros(0, np.int64)) is None
+
+    def test_shrink_vertex_count_mismatch_bails(self):
+        g = gen.path_graph(4)
+        idx = BCCIndex.build(g)
+        ng = Graph(5, g.u[:-1], g.v[:-1])
+        assert shrink_index(idx, ng, np.array([2], np.int64)) is None
+
+    def test_shrink_edge_count_mismatch_bails(self):
+        # removing bridge 0 should leave m-1 edges; handing the unchanged
+        # graph as "new" trips the edge-count guard
+        g = gen.path_graph(4)
+        idx = BCCIndex.build(g)
+        assert shrink_index(idx, g, np.array([0], np.int64)) is None

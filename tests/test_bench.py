@@ -256,7 +256,7 @@ class TestServiceBench:
         assert "Service batch sweep" in out
         assert "Service tail latency" in out
         data = json.loads(path.read_text())
-        assert data["version"] == 3
+        assert data["version"] == 4
         assert data["workload"]["graph_n"] == 600
         assert data["workload"]["throughput_ops_s"] > 0
         assert data["workload"]["cache_hit_rate"] > 0
@@ -270,6 +270,14 @@ class TestServiceBench:
         assert tail["fresh_verify"]["verified"] is True
         assert tail["fresh_verify"]["mismatches"] == 0
         assert tail["tail_collapse_p99"] > 0
+        inc = tail["incremental_maintenance"]
+        assert inc["graph_family"] == "watts-strogatz"
+        assert inc["full"]["maintenance"] == "full"
+        assert inc["full"]["rebuilds_incremental"] == 0
+        assert inc["auto"]["maintenance"] == "auto"
+        assert inc["auto_verify"]["verified"] is True
+        assert inc["auto_verify"]["mismatches"] == 0
+        assert "Incremental maintenance" in out
 
     def test_cli_service_writes_results_dir(self, tmp_path, capsys, monkeypatch):
         from repro.bench.__main__ import main
@@ -279,7 +287,7 @@ class TestServiceBench:
         assert main(["service", "--n", "600"]) == 0
         assert "wrote results/BENCH_service.json" in capsys.readouterr().out
         data = json.loads((tmp_path / "results" / "BENCH_service.json").read_text())
-        assert data["version"] == 3
+        assert data["version"] == 4
         assert data["batch_sweep"]["rows"][0]["batch"] == 1
         assert "tail_latency" in data
 
